@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks for the model-fitting pipeline: the cost of
+//! the MLE and EM estimators at the paper's 25-sample training size and
+//! at bulk (5000-sample) size.
+
+use chs_dist::fit::{fit_exponential, fit_hyperexponential, fit_weibull, EmOptions};
+use chs_dist::{AvailabilityModel, Weibull};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn training_data(n: usize) -> Vec<f64> {
+    let truth = Weibull::paper_exemplar();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    (0..n).map(|_| truth.sample(&mut rng)).collect()
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit");
+    for &n in &[25usize, 500, 5_000] {
+        let data = training_data(n);
+        group.bench_with_input(BenchmarkId::new("exponential_mle", n), &data, |b, d| {
+            b.iter(|| fit_exponential(black_box(d)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("weibull_mle", n), &data, |b, d| {
+            b.iter(|| fit_weibull(black_box(d)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hyperexp2_em", n), &data, |b, d| {
+            b.iter(|| fit_hyperexponential(black_box(d), 2, &EmOptions::default()).unwrap())
+        });
+        if n <= 500 {
+            group.bench_with_input(BenchmarkId::new("hyperexp3_em", n), &data, |b, d| {
+                b.iter(|| fit_hyperexponential(black_box(d), 3, &EmOptions::default()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fitting);
+criterion_main!(benches);

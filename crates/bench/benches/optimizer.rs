@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks for the `T_opt` optimizer: golden-section
+//! vs Brent (the ablation DESIGN.md calls out), per distribution family,
+//! plus schedule construction and the cached policy.
+
+use chs_dist::{Exponential, HyperExponential, Weibull};
+use chs_markov::{CheckpointCosts, Schedule, VaidyaModel};
+use chs_numerics::optimize::{minimize_bounded, minimize_brent};
+use chs_sim::{CachedPolicy, SchedulePolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_t_opt(c: &mut Criterion) {
+    let weib = Weibull::paper_exemplar();
+    let expo = Exponential::from_mean(9_000.0).unwrap();
+    let hyper = HyperExponential::new(&[(0.7, 1.0 / 300.0), (0.3, 1.0 / 30_000.0)]).unwrap();
+    let costs = CheckpointCosts::symmetric(110.0);
+
+    let mut group = c.benchmark_group("t_opt");
+    group.bench_function("exponential", |b| {
+        let m = VaidyaModel::new(&expo, costs).unwrap();
+        b.iter(|| m.optimal_interval(black_box(0.0)).unwrap())
+    });
+    group.bench_function("weibull_age0", |b| {
+        let m = VaidyaModel::new(&weib, costs).unwrap();
+        b.iter(|| m.optimal_interval(black_box(0.0)).unwrap())
+    });
+    group.bench_function("weibull_aged", |b| {
+        let m = VaidyaModel::new(&weib, costs).unwrap();
+        b.iter(|| m.optimal_interval(black_box(40_000.0)).unwrap())
+    });
+    group.bench_function("hyperexp2", |b| {
+        let m = VaidyaModel::new(&hyper, costs).unwrap();
+        b.iter(|| m.optimal_interval(black_box(2_000.0)).unwrap())
+    });
+    group.finish();
+
+    // Ablation: golden-section (the paper's choice) vs Brent on the same
+    // overhead-ratio objective.
+    let m = VaidyaModel::new(&weib, costs).unwrap();
+    let obj = |u: f64| m.overhead_ratio(u.exp(), 1_000.0);
+    let mut group = c.benchmark_group("minimizer_ablation");
+    group.bench_function("golden_bounded", |b| {
+        b.iter(|| minimize_bounded(obj, 0.0, 16.0, 1e-9).unwrap())
+    });
+    group.bench_function("brent", |b| {
+        b.iter(|| minimize_brent(obj, 4.0, 8.0, 1e-9).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let weib = Weibull::paper_exemplar();
+    let costs = CheckpointCosts::symmetric(110.0);
+    let m = VaidyaModel::new(&weib, costs).unwrap();
+    let mut group = c.benchmark_group("schedule");
+    group.bench_function("aperiodic_32_intervals", |b| {
+        b.iter(|| Schedule::compute(&m, black_box(0.0), f64::INFINITY, 32).unwrap())
+    });
+    group.finish();
+
+    let fit = chs_dist::FittedModel::Weibull(weib);
+    let mut group = c.benchmark_group("cached_policy");
+    group.bench_function("build_grid", |b| {
+        b.iter(|| CachedPolicy::new(black_box(fit.clone()), costs, 500_000.0))
+    });
+    let policy = CachedPolicy::new(fit, costs, 500_000.0);
+    group.bench_function("lookup", |b| {
+        b.iter(|| policy.next_interval(black_box(12_345.6)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_t_opt, bench_schedule);
+criterion_main!(benches);

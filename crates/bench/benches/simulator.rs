@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the trace simulator and the live-Condor
+//! emulation: per-trace simulation cost and end-to-end cell cost of the
+//! paper's sweep.
+
+use chs_dist::fit::fit_model;
+use chs_dist::ModelKind;
+use chs_markov::CheckpointCosts;
+use chs_sim::{prepare_experiments, simulate_trace, sweep_paper_grid, CachedPolicy, SimConfig};
+use chs_trace::synthetic::{generate_pool, known_weibull_trace, PoolConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_trace_sim(c: &mut Criterion) {
+    let trace = known_weibull_trace(0.43, 3_409.0, 1_000, 3);
+    let durations = trace.durations();
+    let fit = fit_model(ModelKind::Weibull, &durations[..25]).unwrap();
+    let max_age = durations.iter().cloned().fold(0.0f64, f64::max);
+    let policy = CachedPolicy::new(fit, CheckpointCosts::symmetric(110.0), max_age);
+    let config = SimConfig::paper(110.0);
+
+    let mut group = c.benchmark_group("trace_sim");
+    group.bench_function("1000_segments_cached_weibull", |b| {
+        b.iter(|| simulate_trace(black_box(&durations), &policy, &config).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let pool = generate_pool(&PoolConfig::small(8, 60, 11)).as_machine_pool();
+    let experiments = prepare_experiments(&pool, 25);
+
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("prepare_8_machines", |b| {
+        b.iter(|| prepare_experiments(black_box(&pool), 25))
+    });
+    group.bench_function("grid_cell_8_machines_4_models", |b| {
+        b.iter(|| sweep_paper_grid(black_box(&experiments), &[250.0], 500.0))
+    });
+    group.finish();
+}
+
+fn bench_condor_emulation(c: &mut Criterion) {
+    let mut config = chs_condor::ExperimentConfig::campus();
+    config.machines = 8;
+    config.streams = 1;
+    config.window = 0.25 * 86_400.0;
+
+    let mut group = c.benchmark_group("condor_emulation");
+    group.sample_size(10);
+    group.bench_function("quarter_day_8_machines", |b| {
+        b.iter(|| chs_condor::run_experiment(black_box(&config)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_sim,
+    bench_sweep,
+    bench_condor_emulation
+);
+criterion_main!(benches);

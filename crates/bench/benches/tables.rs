@@ -1,0 +1,39 @@
+//! End-to-end benchmark: the cost of regenerating one full table row
+//! (fit → sweep → CI + significance) at a small pool size, so regressions
+//! in any stage of the pipeline are caught in one number.
+
+use chs_bench::{prepare_pool, CommonArgs};
+use chs_sim::sweep_paper_grid;
+use chs_stats::{significance_markers, Direction, Summary};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table_row(c: &mut Criterion) {
+    let args = CommonArgs {
+        machines: 8,
+        observations: 75,
+        ..Default::default()
+    };
+    let experiments = prepare_pool(&args);
+    assert!(!experiments.is_empty());
+
+    let mut group = c.benchmark_group("table_pipeline");
+    group.sample_size(10);
+    group.bench_function("one_row_8_machines", |b| {
+        b.iter(|| {
+            let grid = sweep_paper_grid(black_box(&experiments), &[500.0], 500.0);
+            let series: Vec<Vec<f64>> = (0..4)
+                .map(|mi| grid.cells[0][mi].efficiency.clone())
+                .collect();
+            let markers = ['e', 'w', '2', '3'];
+            let sig =
+                significance_markers(&series, &markers, Direction::HigherIsBetter, 0.05).unwrap();
+            let cis: Vec<Summary> = series.iter().map(|s| Summary::ci95(s).unwrap()).collect();
+            (sig, cis)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_row);
+criterion_main!(benches);

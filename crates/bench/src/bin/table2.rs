@@ -1,0 +1,75 @@
+//! Regenerates **Table 2**: application efficiency when machine
+//! availability truly follows a known heavy-tailed Weibull
+//! (shape 0.43, scale 3409). Each model is fitted either to all 5000
+//! durations or to only the first 25, and simulated at C = 50 and
+//! C = 500. The Weibull column is fitting the true family, so it is the
+//! optimum the others approximate.
+//!
+//! ```text
+//! cargo run -p chs-bench --release --bin table2 [--seed S]
+//! ```
+
+use chs_bench::{maybe_dump_json, CommonArgs, TablePrinter};
+use chs_dist::fit::fit_model;
+use chs_dist::ModelKind;
+use chs_markov::CheckpointCosts;
+use chs_sim::{simulate_trace, CachedPolicy, SimConfig};
+use chs_trace::synthetic::known_weibull_trace;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let shape = 0.43;
+    let scale = 3_409.0;
+    let n = 5_000;
+    let trace = known_weibull_trace(shape, scale, n, args.seed);
+    let durations = trace.durations();
+    let first25 = &durations[..25];
+    eprintln!(
+        "synthetic trace: {n} durations from Weibull(shape {shape}, scale {scale}), seed {}",
+        args.seed
+    );
+
+    let c_values = [50.0, 500.0];
+    let max_age = durations.iter().cloned().fold(0.0f64, f64::max);
+
+    println!("\nTable 2: efficiency on a known Weibull(0.43, 3409) availability trace");
+    println!("paper shape: every model within ~0.03 of the true-Weibull optimum; the");
+    println!("25-sample fits barely degrade accuracy\n");
+    let printer = TablePrinter::new(vec![18, 9, 9, 9, 9]);
+    printer.row(&[
+        "Distribution".to_string(),
+        "C=50".to_string(),
+        "C=50/25".to_string(),
+        "C=500".to_string(),
+        "C=500/25".to_string(),
+    ]);
+    printer.rule();
+
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for kind in ModelKind::PAPER_SET {
+        let mut cells: Vec<f64> = Vec::new();
+        for &c in &c_values {
+            for train in [&durations[..], first25] {
+                let eff = match fit_model(kind, train) {
+                    Ok(fit) => {
+                        let policy = CachedPolicy::new(fit, CheckpointCosts::symmetric(c), max_age);
+                        let r = simulate_trace(&durations, &policy, &SimConfig::paper(c))
+                            .expect("valid trace");
+                        r.efficiency()
+                    }
+                    Err(e) => {
+                        eprintln!("{kind}: fit failed on {}-sample set: {e}", train.len());
+                        f64::NAN
+                    }
+                };
+                cells.push(eff);
+            }
+        }
+        let mut display = vec![kind.label()];
+        display.extend(cells.iter().map(|v| format!("{v:.3}")));
+        printer.row(&display);
+        rows.push((kind.label(), cells));
+    }
+    println!("\ncolumns: fit on all 5000 | fit on first 25, for each C");
+    maybe_dump_json(&args, &rows);
+}

@@ -1,0 +1,237 @@
+//! Shared infrastructure for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Every binary accepts the same tiny CLI surface (no external parser):
+//!
+//! * `--machines N` — pool size (default 96; the paper used ~640, pass
+//!   `--full` for that),
+//! * `--seed S` — RNG seed,
+//! * `--full` — paper-scale pool (640 machines),
+//! * `--json PATH` — also dump the raw results as JSON.
+//!
+//! Output is printed as fixed-width tables matching the paper's layout so
+//! rows can be compared side by side with the published numbers.
+
+#![deny(missing_docs)]
+
+use chs_sim::{prepare_experiments, sweep_paper_grid, MachineExperiment, SweepGrid};
+use chs_trace::synthetic::{generate_pool, PoolConfig};
+use chs_trace::PAPER_TRAIN_LEN;
+
+/// Common CLI options.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Pool size.
+    pub machines: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional JSON dump path.
+    pub json: Option<String>,
+    /// Observations per machine (training 25 + experimental remainder).
+    pub observations: usize,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self {
+            machines: 96,
+            seed: 2_005,
+            json: None,
+            observations: 225,
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parse from `std::env::args`, exiting with a usage message on error.
+    pub fn parse() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--machines" => out.machines = next_num(&mut args, "--machines") as usize,
+                "--seed" => out.seed = next_num(&mut args, "--seed") as u64,
+                "--observations" => {
+                    out.observations = next_num(&mut args, "--observations") as usize
+                }
+                "--full" => out.machines = 640,
+                "--quick" => {
+                    out.machines = 24;
+                    out.observations = 125;
+                }
+                "--json" => out.json = Some(args.next().unwrap_or_else(|| usage("--json"))),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --machines N | --full | --quick | --seed S | \
+                         --observations N | --json PATH"
+                    );
+                    std::process::exit(0);
+                }
+                other => usage(other),
+            }
+        }
+        out
+    }
+
+    /// The synthetic-pool configuration for these arguments.
+    pub fn pool_config(&self) -> PoolConfig {
+        PoolConfig {
+            machines: self.machines,
+            observations_per_machine: self.observations,
+            seed: self.seed,
+            ..PoolConfig::default()
+        }
+    }
+}
+
+fn next_num(args: &mut impl Iterator<Item = String>, flag: &str) -> f64 {
+    let v: f64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage(flag));
+    // Negative counts/seeds would silently saturate to 0 on the `as`
+    // casts at the call sites.
+    if v < 0.0 {
+        usage(flag)
+    }
+    v
+}
+
+fn usage(flag: &str) -> ! {
+    eprintln!("bad or missing argument near {flag}; see --help");
+    std::process::exit(2);
+}
+
+/// Generate the pool and fit all four models per machine — the common
+/// front half of the Figure 3 / Table 1 / Table 3 pipeline.
+pub fn prepare_pool(args: &CommonArgs) -> Vec<MachineExperiment> {
+    let pool = generate_pool(&args.pool_config()).as_machine_pool();
+    let experiments = prepare_experiments(&pool, PAPER_TRAIN_LEN);
+    eprintln!(
+        "pool: {} machines generated, {} usable after fitting (paper: ~640 of >1000)",
+        pool.len(),
+        experiments.len()
+    );
+    experiments
+}
+
+/// Run the paper's checkpoint-cost grid sweep.
+pub fn run_paper_sweep(experiments: &[MachineExperiment]) -> SweepGrid {
+    sweep_paper_grid(experiments, &chs_sim::sweep::PAPER_C_GRID, 500.0)
+}
+
+/// Fixed-width table printer.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Create with column widths.
+    pub fn new(widths: Vec<usize>) -> Self {
+        Self { widths }
+    }
+
+    /// Print one row, left-padding each cell to its column width.
+    pub fn row(&self, cells: &[String]) {
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+
+    /// Print a separator rule.
+    pub fn rule(&self) {
+        let total: usize = self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
+        println!("{}", "-".repeat(total));
+    }
+}
+
+/// Write a serializable result to JSON if the user asked for it.
+pub fn maybe_dump_json<T: serde::Serialize>(args: &CommonArgs, value: &T) {
+    if let Some(path) = &args.json {
+        match serde_json::to_string_pretty(value) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("could not write {path}: {e}");
+                } else {
+                    eprintln!("raw results written to {path}");
+                }
+            }
+            Err(e) => eprintln!("could not serialize results: {e}"),
+        }
+    }
+}
+
+/// Render a simple ASCII line chart: one labelled series per model over
+/// the shared x grid (used by the figure binaries; gnuplot-free).
+pub fn ascii_chart(title: &str, x: &[f64], series: &[(String, Vec<f64>)], height: usize) {
+    println!("\n{title}");
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .collect();
+    let lo = all.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !(lo.is_finite() && hi.is_finite()) {
+        println!("(no data)");
+        return;
+    }
+    let span = (hi - lo).max(1e-12);
+    let marks = ['e', 'w', '2', '3', '*', '+'];
+    for level in (0..=height).rev() {
+        let y = lo + span * level as f64 / height as f64;
+        let mut line = format!("{y:>12.3} |");
+        for xi in 0..x.len() {
+            let mut cell = ' ';
+            for (si, (_, ys)) in series.iter().enumerate() {
+                let norm = ((ys[xi] - lo) / span * height as f64).round() as usize;
+                if norm == level {
+                    cell = marks[si % marks.len()];
+                }
+            }
+            line.push(cell);
+            line.push(' ');
+        }
+        println!("{line}");
+    }
+    let mut axis = format!("{:>12} +", "");
+    for _ in x {
+        axis.push_str("--");
+    }
+    println!("{axis}");
+    let labels: Vec<String> = x.iter().map(|v| format!("{v:.0}")).collect();
+    println!("{:>14}{}", "C(s): ", labels.join(" "));
+    for (si, (name, _)) in series.iter().enumerate() {
+        println!("{:>14}{} = {name}", "", marks[si % marks.len()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args() {
+        let a = CommonArgs::default();
+        assert_eq!(a.machines, 96);
+        assert!(a.json.is_none());
+        assert_eq!(a.pool_config().machines, 96);
+        assert_eq!(a.pool_config().seed, 2_005);
+    }
+
+    #[test]
+    fn prepare_and_sweep_smoke() {
+        let args = CommonArgs {
+            machines: 6,
+            observations: 60,
+            ..Default::default()
+        };
+        let exps = prepare_pool(&args);
+        assert!(!exps.is_empty());
+        let grid = sweep_paper_grid(&exps, &[100.0], 500.0);
+        assert_eq!(grid.cells.len(), 1);
+        assert_eq!(grid.cells[0].len(), 4);
+    }
+}

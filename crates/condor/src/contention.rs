@@ -1,0 +1,479 @@
+//! Parallel checkpointing over a **shared bottleneck link** — the paper's
+//! stated future work (§5.2): *"for a parallel job, where multiple jobs
+//! may be checkpointing simultaneously, the network load savings are
+//! likely to improve application efficiency since network collisions
+//! will lengthen the amount of time necessary for a checkpoint."*
+//!
+//! This module implements that model: `K` jobs run on `K` machines and
+//! all checkpoint/recover through one link of fixed capacity shared by
+//! **processor sharing** (each of `n` concurrent transfers proceeds at
+//! `capacity / n`). A discrete-event loop advances the joint state; when
+//! concurrency changes, in-flight transfers slow down or speed up, so a
+//! model that checkpoints more often *stretches everyone's* checkpoints —
+//! letting the bandwidth parsimony of heavy-tailed schedules convert into
+//! an efficiency advantage, exactly the paper's conjecture.
+//!
+//! Jobs adapt like the live test process: each completed transfer's
+//! measured duration becomes the `C = R` for the next `T_opt`.
+
+use crate::machine::{EmulatedMachine, Segment};
+use crate::{CondorError, Result};
+use chs_dist::fit::fit_model;
+use chs_dist::{FittedModel, ModelKind};
+use chs_markov::{CheckpointCosts, VaidyaModel};
+use chs_trace::synthetic::PoolConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for one contention run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionConfig {
+    /// Number of parallel jobs (each pinned to its own machine).
+    pub jobs: usize,
+    /// Bottleneck link capacity, MB/s. The paper's campus path moves
+    /// 500 MB in ~110 s uncontended → ≈ 4.55 MB/s.
+    pub link_mb_per_s: f64,
+    /// Checkpoint image size per job, MB.
+    pub image_mb: f64,
+    /// Virtual-time window, seconds.
+    pub window: f64,
+    /// Availability model every job fits to its machine's history.
+    pub model: ModelKind,
+    /// Machine ground-truth meta-distribution.
+    pub pool: PoolConfig,
+    /// Historical durations per machine for fitting.
+    pub history_len: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ContentionConfig {
+    /// Campus-link defaults: `jobs` parallel workers sharing a link that
+    /// moves one 500 MB image in 110 s when uncontended.
+    pub fn campus(jobs: usize, model: ModelKind) -> Self {
+        Self {
+            jobs,
+            link_mb_per_s: 500.0 / 110.0,
+            image_mb: 500.0,
+            window: 4.0 * 86_400.0,
+            model,
+            pool: PoolConfig::default(),
+            history_len: 25,
+            seed: 2_005,
+        }
+    }
+}
+
+/// Aggregate result of a contention run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionResult {
+    /// The model used.
+    pub model: ModelKind,
+    /// Number of parallel jobs.
+    pub jobs: usize,
+    /// Sum over jobs of committed work seconds.
+    pub useful_seconds: f64,
+    /// Sum over jobs of machine-occupied seconds.
+    pub occupied_seconds: f64,
+    /// Megabytes that crossed the link (including partial transfers).
+    pub megabytes: f64,
+    /// Checkpoints committed across all jobs.
+    pub checkpoints_committed: u64,
+    /// Transfers started (recoveries + checkpoints, committed or not).
+    pub transfers_started: u64,
+    /// Mean duration of completed transfers (stretched by contention).
+    pub mean_transfer_seconds: f64,
+    /// Time-average number of concurrent transfers, measured over the
+    /// time the link was busy.
+    pub mean_link_concurrency: f64,
+    /// Fraction of the window the link was busy.
+    pub link_utilization: f64,
+}
+
+impl ContentionResult {
+    /// Aggregate efficiency across jobs.
+    pub fn efficiency(&self) -> f64 {
+        if self.occupied_seconds > 0.0 {
+            self.useful_seconds / self.occupied_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Stretch factor: mean transfer duration relative to the uncontended
+    /// duration of one image.
+    pub fn stretch(&self, config: &ContentionConfig) -> f64 {
+        let nominal = config.image_mb / config.link_mb_per_s;
+        self.mean_transfer_seconds / nominal
+    }
+}
+
+/// What a job is doing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Waiting for its machine's segment `seg_index` to begin.
+    OffMachine,
+    /// Pulling the recovery image; `remaining_mb` still to move.
+    Recovering { remaining_mb: f64, started_at: f64 },
+    /// Spinning until `until`; `work` seconds will be credited if the
+    /// following checkpoint commits.
+    Working { until: f64, work: f64 },
+    /// Pushing a checkpoint; commit credits `work`.
+    Checkpointing {
+        remaining_mb: f64,
+        work: f64,
+        started_at: f64,
+    },
+}
+
+struct Job {
+    machine: EmulatedMachine,
+    fit: FittedModel,
+    seg_index: usize,
+    phase: Phase,
+    measured_cost: f64,
+    useful: f64,
+    occupied: f64,
+    megabytes: f64,
+    committed: u64,
+    transfers_started: u64,
+    completed_transfer_time: f64,
+    completed_transfers: u64,
+    /// Start of the segment the job currently occupies.
+    seg_start: f64,
+}
+
+impl Job {
+    fn current_segment(&self) -> Option<Segment> {
+        self.machine.segments().get(self.seg_index).copied()
+    }
+
+    fn transferring(&self) -> bool {
+        matches!(
+            self.phase,
+            Phase::Recovering { .. } | Phase::Checkpointing { .. }
+        )
+    }
+}
+
+/// Run the contention simulation.
+pub fn run_contention(config: &ContentionConfig) -> Result<ContentionResult> {
+    if config.jobs == 0 {
+        return Err(CondorError::InvalidConfig("need at least one job"));
+    }
+    if !(config.link_mb_per_s > 0.0 && config.image_mb > 0.0 && config.window > 0.0) {
+        return Err(CondorError::InvalidConfig(
+            "link capacity, image size and window must be positive",
+        ));
+    }
+    let nominal_cost = config.image_mb / config.link_mb_per_s;
+
+    // Build jobs: machine i + model fitted to its history.
+    let mut jobs: Vec<Job> = Vec::with_capacity(config.jobs);
+    for i in 0..config.jobs {
+        let machine = EmulatedMachine::generate(
+            &config.pool,
+            i as u32,
+            config.history_len,
+            config.window * 2.0 + 7.0 * 86_400.0,
+            config.seed,
+        );
+        let fit = fit_model(config.model, &machine.history)?;
+        jobs.push(Job {
+            machine,
+            fit,
+            seg_index: 0,
+            phase: Phase::OffMachine,
+            measured_cost: nominal_cost,
+            useful: 0.0,
+            occupied: 0.0,
+            megabytes: 0.0,
+            committed: 0,
+            transfers_started: 0,
+            completed_transfer_time: 0.0,
+            completed_transfers: 0,
+            seg_start: 0.0,
+        });
+    }
+
+    let capacity = config.link_mb_per_s;
+    let mut t = 0.0;
+    let mut busy_time = 0.0;
+    let mut concurrency_time = 0.0; // ∫ n_active dt over busy periods
+    const EPS: f64 = 1e-7;
+
+    while t < config.window {
+        let n_active = jobs.iter().filter(|j| j.transferring()).count();
+        let rate = if n_active > 0 {
+            capacity / n_active as f64
+        } else {
+            0.0
+        };
+
+        // Earliest next event across jobs.
+        let mut t_next = config.window;
+        for job in &jobs {
+            let seg = job.current_segment();
+            let event = match job.phase {
+                Phase::OffMachine => seg.map_or(f64::INFINITY, |s| s.start),
+                Phase::Working { until, .. } => until.min(seg.map_or(f64::INFINITY, |s| s.end)),
+                Phase::Recovering { remaining_mb, .. }
+                | Phase::Checkpointing { remaining_mb, .. } => {
+                    let done = t + remaining_mb / rate;
+                    done.min(seg.map_or(f64::INFINITY, |s| s.end))
+                }
+            };
+            t_next = t_next.min(event);
+        }
+        let dt = (t_next - t).max(0.0);
+
+        // Drain in-flight transfers and account link occupancy.
+        if n_active > 0 && dt > 0.0 {
+            busy_time += dt;
+            concurrency_time += dt * n_active as f64;
+            let moved = dt * rate;
+            for job in jobs.iter_mut() {
+                match &mut job.phase {
+                    Phase::Recovering { remaining_mb, .. }
+                    | Phase::Checkpointing { remaining_mb, .. } => {
+                        let delta = moved.min(*remaining_mb);
+                        *remaining_mb -= delta;
+                        job.megabytes += delta;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Accrue occupancy for on-machine jobs.
+        for job in jobs.iter_mut() {
+            if !matches!(job.phase, Phase::OffMachine) {
+                job.occupied += dt;
+            }
+        }
+        t = t_next;
+        if t >= config.window {
+            break;
+        }
+
+        // Fire events.
+        for job in jobs.iter_mut() {
+            let Some(seg) = job.current_segment() else {
+                continue;
+            };
+            match job.phase {
+                Phase::OffMachine => {
+                    if t + EPS >= seg.start {
+                        // Placement at segment start: begin recovery.
+                        job.seg_start = seg.start;
+                        job.phase = Phase::Recovering {
+                            remaining_mb: config.image_mb,
+                            started_at: t,
+                        };
+                        job.transfers_started += 1;
+                    }
+                }
+                Phase::Working { until, work } => {
+                    if t + EPS >= seg.end {
+                        // Evicted mid-work: pending work lost.
+                        job.seg_index += 1;
+                        job.phase = Phase::OffMachine;
+                    } else if t + EPS >= until {
+                        job.phase = Phase::Checkpointing {
+                            remaining_mb: config.image_mb,
+                            work,
+                            started_at: t,
+                        };
+                        job.transfers_started += 1;
+                    }
+                }
+                Phase::Recovering {
+                    remaining_mb,
+                    started_at,
+                } => {
+                    if t + EPS >= seg.end {
+                        job.seg_index += 1;
+                        job.phase = Phase::OffMachine;
+                    } else if remaining_mb <= EPS {
+                        let duration = t - started_at;
+                        job.measured_cost = duration.max(1.0);
+                        job.completed_transfer_time += duration;
+                        job.completed_transfers += 1;
+                        // Plan the next work interval from the machine's
+                        // age and the measured cost.
+                        let age = t - job.seg_start;
+                        let t_work = plan_interval(&job.fit, job.measured_cost, age)?;
+                        job.phase = Phase::Working {
+                            until: t + t_work,
+                            work: t_work,
+                        };
+                    }
+                }
+                Phase::Checkpointing {
+                    remaining_mb,
+                    work,
+                    started_at,
+                } => {
+                    if t + EPS >= seg.end {
+                        job.seg_index += 1;
+                        job.phase = Phase::OffMachine;
+                    } else if remaining_mb <= EPS {
+                        let duration = t - started_at;
+                        job.measured_cost = duration.max(1.0);
+                        job.completed_transfer_time += duration;
+                        job.completed_transfers += 1;
+                        job.useful += work;
+                        job.committed += 1;
+                        let age = t - job.seg_start;
+                        let t_work = plan_interval(&job.fit, job.measured_cost, age)?;
+                        job.phase = Phase::Working {
+                            until: t + t_work,
+                            work: t_work,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    let useful: f64 = jobs.iter().map(|j| j.useful).sum();
+    let occupied: f64 = jobs.iter().map(|j| j.occupied).sum();
+    let megabytes: f64 = jobs.iter().map(|j| j.megabytes).sum();
+    let committed: u64 = jobs.iter().map(|j| j.committed).sum();
+    let started: u64 = jobs.iter().map(|j| j.transfers_started).sum();
+    let transfer_time: f64 = jobs.iter().map(|j| j.completed_transfer_time).sum();
+    let transfers: u64 = jobs.iter().map(|j| j.completed_transfers).sum();
+
+    Ok(ContentionResult {
+        model: config.model,
+        jobs: config.jobs,
+        useful_seconds: useful,
+        occupied_seconds: occupied,
+        megabytes,
+        checkpoints_committed: committed,
+        transfers_started: started,
+        mean_transfer_seconds: if transfers > 0 {
+            transfer_time / transfers as f64
+        } else {
+            0.0
+        },
+        mean_link_concurrency: if busy_time > 0.0 {
+            concurrency_time / busy_time
+        } else {
+            0.0
+        },
+        link_utilization: busy_time / config.window,
+    })
+}
+
+fn plan_interval(fit: &FittedModel, cost: f64, age: f64) -> Result<f64> {
+    let vaidya = VaidyaModel::new(fit, CheckpointCosts::symmetric(cost))?;
+    Ok(vaidya.optimal_interval(age.max(0.0))?.work_seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(jobs: usize, model: ModelKind) -> ContentionConfig {
+        ContentionConfig {
+            window: 86_400.0,
+            ..ContentionConfig::campus(jobs, model)
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = small(0, ModelKind::Exponential);
+        assert!(run_contention(&c).is_err());
+        c = small(2, ModelKind::Exponential);
+        c.link_mb_per_s = 0.0;
+        assert!(run_contention(&c).is_err());
+    }
+
+    #[test]
+    fn single_job_sane() {
+        let r = run_contention(&small(1, ModelKind::Weibull)).unwrap();
+        assert!(
+            r.efficiency() > 0.0 && r.efficiency() <= 1.0,
+            "eff {}",
+            r.efficiency()
+        );
+        assert!(r.megabytes > 0.0);
+        // Alone on the link: no contention, stretch ≈ 1.
+        let cfg = small(1, ModelKind::Weibull);
+        assert!(
+            (r.stretch(&cfg) - 1.0).abs() < 0.05,
+            "stretch {}",
+            r.stretch(&cfg)
+        );
+        assert!((r.mean_link_concurrency - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_stretches_transfers() {
+        let cfg1 = small(1, ModelKind::Exponential);
+        let cfg8 = small(8, ModelKind::Exponential);
+        let cfg16 = small(16, ModelKind::Exponential);
+        let r1 = run_contention(&cfg1).unwrap();
+        let r8 = run_contention(&cfg8).unwrap();
+        let r16 = run_contention(&cfg16).unwrap();
+        assert!(
+            r8.mean_transfer_seconds > 1.1 * r1.mean_transfer_seconds,
+            "8 jobs should stretch transfers: {} vs {}",
+            r8.mean_transfer_seconds,
+            r1.mean_transfer_seconds
+        );
+        assert!(
+            r16.mean_transfer_seconds > r8.mean_transfer_seconds,
+            "more jobs, more stretch: {} vs {}",
+            r16.mean_transfer_seconds,
+            r8.mean_transfer_seconds
+        );
+        assert!(r8.mean_link_concurrency > 1.05);
+        assert!(r8.link_utilization > r1.link_utilization);
+    }
+
+    #[test]
+    fn parsimony_pays_under_contention() {
+        // The paper's conjecture: at high parallelism the bandwidth-frugal
+        // heavy-tailed schedule loses less efficiency to collisions than
+        // the exponential schedule.
+        let jobs = 16;
+        let exp = run_contention(&small(jobs, ModelKind::Exponential)).unwrap();
+        let hyp = run_contention(&small(jobs, ModelKind::HyperExponential { phases: 2 })).unwrap();
+        assert!(
+            hyp.megabytes < exp.megabytes,
+            "hyperexp should move less data: {} vs {}",
+            hyp.megabytes,
+            exp.megabytes
+        );
+        assert!(
+            hyp.mean_transfer_seconds < exp.mean_transfer_seconds,
+            "fewer collisions → shorter transfers: {} vs {}",
+            hyp.mean_transfer_seconds,
+            exp.mean_transfer_seconds
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = small(4, ModelKind::Weibull);
+        let a = run_contention(&cfg).unwrap();
+        let b = run_contention(&cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn useful_bounded_by_occupied() {
+        let r = run_contention(&small(6, ModelKind::HyperExponential { phases: 2 })).unwrap();
+        assert!(r.useful_seconds <= r.occupied_seconds + 1e-6);
+        assert!(r.checkpoints_committed <= r.transfers_started);
+    }
+
+    #[test]
+    fn link_utilization_is_a_fraction() {
+        let r = run_contention(&small(8, ModelKind::Exponential)).unwrap();
+        assert!((0.0..=1.0).contains(&r.link_utilization));
+        assert!(r.mean_link_concurrency >= 1.0);
+        assert!(r.mean_link_concurrency <= 8.0);
+    }
+}

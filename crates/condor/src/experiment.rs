@@ -1,0 +1,416 @@
+//! The §5.2 live experiment, emulated: repeatedly submit instrumented
+//! test processes to the (virtual) Condor pool, let each one measure its
+//! own transfer costs and recompute `T_opt` after every checkpoint, and
+//! aggregate per-model efficiency and network load (Tables 4–5).
+
+use crate::machine::MachinePark;
+use crate::manager::{RunRecord, TransferKind, TransferRecord};
+use crate::negotiator::{Negotiator, Placement};
+use crate::{CondorError, Result};
+use chs_dist::fit::fit_model;
+use chs_dist::{FittedModel, ModelKind};
+use chs_markov::{CheckpointCosts, VaidyaModel};
+use chs_net::{NetworkPath, TransferModel};
+use chs_trace::synthetic::PoolConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one emulated live experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Machines in the pool.
+    pub machines: usize,
+    /// Historical durations recorded per machine (the training data; the
+    /// paper fits on the previous 18 months, our default matches its
+    /// 25-observation training sets).
+    pub history_len: usize,
+    /// Measurement window in virtual seconds (the paper ran ~2 days).
+    pub window: f64,
+    /// Network path between pool and checkpoint manager.
+    pub path: NetworkPath,
+    /// Checkpoint image size, megabytes.
+    pub image_mb: f64,
+    /// Independent submission streams (each gets a fresh pool
+    /// realization; samples accumulate across streams).
+    pub streams: usize,
+    /// Heartbeat period, seconds (the paper's process reports every 10 s).
+    pub heartbeat_period: f64,
+    /// Pool meta-distribution for machine ground truths.
+    pub pool: PoolConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Table 4's setup: checkpoint manager on the campus LAN.
+    pub fn campus() -> Self {
+        Self::with_path(NetworkPath::campus())
+    }
+
+    /// Table 5's setup: checkpoint manager across the wide area.
+    pub fn wide_area() -> Self {
+        Self::with_path(NetworkPath::wide_area())
+    }
+
+    fn with_path(path: NetworkPath) -> Self {
+        Self {
+            machines: 48,
+            history_len: 25,
+            window: 2.0 * 86_400.0,
+            path,
+            image_mb: 500.0,
+            streams: 4,
+            heartbeat_period: 10.0,
+            pool: PoolConfig::default(),
+            seed: 2_005,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.machines == 0 {
+            return Err(CondorError::InvalidConfig("need at least one machine"));
+        }
+        let window_ok = self.window > 0.0;
+        if !window_ok {
+            return Err(CondorError::InvalidConfig("window must be positive"));
+        }
+        if self.streams == 0 {
+            return Err(CondorError::InvalidConfig("need at least one stream"));
+        }
+        let heartbeat_ok = self.heartbeat_period > 0.0;
+        if !heartbeat_ok {
+            return Err(CondorError::InvalidConfig(
+                "heartbeat period must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate of one model's runs — one row of Table 4 / Table 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSummary {
+    /// Which model.
+    pub model: ModelKind,
+    /// Occupied-time-weighted average efficiency.
+    pub avg_efficiency: f64,
+    /// Total seconds the test processes held machines.
+    pub total_seconds: f64,
+    /// Total megabytes transferred.
+    pub megabytes: f64,
+    /// Megabytes per occupied hour.
+    pub megabytes_per_hour: f64,
+    /// Number of runs (placements).
+    pub sample_size: usize,
+    /// Mean measured transfer duration across runs (the empirical `C`).
+    pub mean_transfer_seconds: f64,
+}
+
+/// Full result of an emulated live experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Every run, all models.
+    pub runs: Vec<RunRecord>,
+    /// Per-model aggregates in [`ModelKind::PAPER_SET`] order.
+    pub summaries: Vec<ModelSummary>,
+}
+
+/// Run the emulated live experiment for all four paper models.
+///
+/// Each model experiences the *same* pool realizations (per stream), so
+/// model comparisons are paired, exactly like the trace simulation.
+pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult> {
+    config.validate()?;
+    let mut runs: Vec<RunRecord> = Vec::new();
+    for (model_index, kind) in ModelKind::PAPER_SET.into_iter().enumerate() {
+        for stream in 0..config.streams {
+            let stream_seed = config
+                .seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(stream as u64 + 1);
+            // Timeline horizon extends past the window so the last run can
+            // finish; machines/timelines depend only on the stream seed →
+            // identical across models (paired comparison).
+            let mut park = MachinePark::generate(
+                &config.pool,
+                config.machines,
+                config.history_len,
+                config.window * 2.0 + 7.0 * 86_400.0,
+                stream_seed,
+            );
+            let mut negotiator = Negotiator::new(stream_seed ^ 0xBEEF);
+            let mut transfer_rng =
+                ChaCha8Rng::seed_from_u64(stream_seed ^ 0xAB1E ^ ((model_index as u64) << 32));
+            let transfer = TransferModel::new(config.path);
+
+            // Fit this model to each machine's history lazily.
+            let mut fits: Vec<Option<Option<FittedModel>>> = vec![None; config.machines];
+
+            let mut t = 0.0;
+            while t < config.window {
+                let Some(placement) = negotiator.place(&mut park, t) else {
+                    break;
+                };
+                if placement.placed_at >= config.window {
+                    break;
+                }
+                let slot = &mut fits[placement.machine_index];
+                if slot.is_none() {
+                    let history = &park.machines()[placement.machine_index].history;
+                    *slot = Some(fit_model(kind, history).ok());
+                }
+                let Some(Some(fit)) = slot.clone() else {
+                    // Unfittable machine (paper drops such machines too).
+                    t = placement.eviction_at;
+                    continue;
+                };
+                let run =
+                    execute_run(&fit, kind, &placement, &transfer, config, &mut transfer_rng)?;
+                t = run.evicted_at;
+                runs.push(run);
+            }
+        }
+    }
+    let summaries = summarize(&runs);
+    Ok(ExperimentResult { runs, summaries })
+}
+
+/// Execute one test-process run: the §5.2 recovery → (work → checkpoint)*
+/// protocol, terminated by eviction.
+fn execute_run(
+    fit: &FittedModel,
+    kind: ModelKind,
+    placement: &Placement,
+    transfer: &TransferModel,
+    config: &ExperimentConfig,
+    rng: &mut ChaCha8Rng,
+) -> Result<RunRecord> {
+    let eviction = placement.eviction_at;
+    let mut t = placement.placed_at;
+    let mut record = RunRecord {
+        machine: placement.machine,
+        model: kind,
+        placed_at: placement.placed_at,
+        age_at_placement: placement.age_at_placement,
+        evicted_at: eviction,
+        transfers: Vec::new(),
+        t_opts: Vec::new(),
+        useful_seconds: 0.0,
+        heartbeats: 0,
+    };
+    let mut work_seconds_total = 0.0;
+
+    // Initial recovery: the manager pushes the 500 MB image and the
+    // process times the transfer.
+    let full = transfer.sample_duration(config.image_mb, rng);
+    if t + full > eviction {
+        let elapsed = eviction - t;
+        record.transfers.push(TransferRecord {
+            kind: TransferKind::Recovery,
+            started_at: t,
+            full_duration: full,
+            elapsed,
+            completed: false,
+            megabytes: transfer.partial_megabytes(config.image_mb, elapsed, full),
+        });
+        return Ok(record);
+    }
+    record.transfers.push(TransferRecord {
+        kind: TransferKind::Recovery,
+        started_at: t,
+        full_duration: full,
+        elapsed: full,
+        completed: true,
+        megabytes: config.image_mb,
+    });
+    t += full;
+    let mut measured_cost = full;
+
+    loop {
+        // Recompute T_opt from the latest measured transfer time (used as
+        // both C and R, per the paper) and the machine's current age.
+        let age = placement.age_at_placement + (t - placement.placed_at);
+        let vaidya = VaidyaModel::new(fit, CheckpointCosts::symmetric(measured_cost))?;
+        let t_opt = vaidya.optimal_interval(age)?.work_seconds;
+        record.t_opts.push(t_opt);
+
+        // Work phase (spin + heartbeats).
+        if t + t_opt >= eviction {
+            work_seconds_total += eviction - t;
+            record.heartbeats = (work_seconds_total / config.heartbeat_period) as u64;
+            return Ok(record);
+        }
+        t += t_opt;
+        work_seconds_total += t_opt;
+
+        // Checkpoint transfer back to the manager.
+        let full = transfer.sample_duration(config.image_mb, rng);
+        if t + full > eviction {
+            let elapsed = eviction - t;
+            record.transfers.push(TransferRecord {
+                kind: TransferKind::Checkpoint,
+                started_at: t,
+                full_duration: full,
+                elapsed,
+                completed: false,
+                megabytes: transfer.partial_megabytes(config.image_mb, elapsed, full),
+            });
+            record.heartbeats = (work_seconds_total / config.heartbeat_period) as u64;
+            return Ok(record);
+        }
+        record.transfers.push(TransferRecord {
+            kind: TransferKind::Checkpoint,
+            started_at: t,
+            full_duration: full,
+            elapsed: full,
+            completed: true,
+            megabytes: config.image_mb,
+        });
+        t += full;
+        record.useful_seconds += t_opt;
+        measured_cost = full;
+    }
+}
+
+/// Build the Table 4/5 rows from raw runs.
+pub fn summarize(runs: &[RunRecord]) -> Vec<ModelSummary> {
+    ModelKind::PAPER_SET
+        .into_iter()
+        .map(|kind| {
+            let model_runs: Vec<&RunRecord> = runs.iter().filter(|r| r.model == kind).collect();
+            let total: f64 = model_runs.iter().map(|r| r.occupied_seconds()).sum();
+            let useful: f64 = model_runs.iter().map(|r| r.useful_seconds).sum();
+            let mb: f64 = model_runs.iter().map(|r| r.megabytes()).sum();
+            let transfer_means: Vec<f64> = model_runs
+                .iter()
+                .filter_map(|r| r.mean_transfer_seconds())
+                .collect();
+            ModelSummary {
+                model: kind,
+                avg_efficiency: if total > 0.0 { useful / total } else { 0.0 },
+                total_seconds: total,
+                megabytes: mb,
+                megabytes_per_hour: if total > 0.0 {
+                    mb / (total / 3_600.0)
+                } else {
+                    0.0
+                },
+                sample_size: model_runs.len(),
+                mean_transfer_seconds: if transfer_means.is_empty() {
+                    0.0
+                } else {
+                    transfer_means.iter().sum::<f64>() / transfer_means.len() as f64
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            machines: 10,
+            streams: 1,
+            window: 0.5 * 86_400.0,
+            ..ExperimentConfig::campus()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = tiny_config();
+        c.machines = 0;
+        assert!(run_experiment(&c).is_err());
+        let mut c = tiny_config();
+        c.window = 0.0;
+        assert!(run_experiment(&c).is_err());
+        let mut c = tiny_config();
+        c.streams = 0;
+        assert!(run_experiment(&c).is_err());
+    }
+
+    #[test]
+    fn experiment_produces_runs_for_all_models() {
+        let result = run_experiment(&tiny_config()).unwrap();
+        assert_eq!(result.summaries.len(), 4);
+        for s in &result.summaries {
+            assert!(s.sample_size > 0, "{:?} got no runs", s.model);
+            assert!((0.0..=1.0).contains(&s.avg_efficiency), "{:?}", s);
+            assert!(s.megabytes >= 0.0);
+        }
+    }
+
+    #[test]
+    fn runs_internally_consistent() {
+        let result = run_experiment(&tiny_config()).unwrap();
+        for r in &result.runs {
+            assert!(r.evicted_at > r.placed_at);
+            assert!(r.useful_seconds <= r.occupied_seconds() + 1e-9);
+            assert!(r.age_at_placement >= 0.0);
+            // Committed work requires a committed checkpoint.
+            if r.useful_seconds > 0.0 {
+                assert!(r.checkpoints_committed() > 0);
+            }
+            // Transfers are chronological and within the run.
+            for w in r.transfers.windows(2) {
+                assert!(w[1].started_at >= w[0].started_at + w[0].elapsed - 1e-9);
+            }
+            for tr in &r.transfers {
+                assert!(tr.started_at >= r.placed_at - 1e-9);
+                assert!(tr.started_at + tr.elapsed <= r.evicted_at + 1e-9);
+                assert!(tr.megabytes <= 500.0 + 1e-9);
+            }
+            // First transfer of every run is the recovery.
+            if let Some(first) = r.transfers.first() {
+                assert_eq!(first.kind, TransferKind::Recovery);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_experiment(&tiny_config()).unwrap();
+        let b = run_experiment(&tiny_config()).unwrap();
+        assert_eq!(a.runs.len(), b.runs.len());
+        assert_eq!(a.summaries, b.summaries);
+    }
+
+    #[test]
+    fn measured_costs_track_the_path() {
+        let result = run_experiment(&tiny_config()).unwrap();
+        for s in &result.summaries {
+            if s.sample_size >= 5 {
+                assert!(
+                    s.mean_transfer_seconds > 50.0 && s.mean_transfer_seconds < 250.0,
+                    "campus path mean transfer {:.0}s out of band",
+                    s.mean_transfer_seconds
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_area_uses_more_time_per_transfer() {
+        let campus = run_experiment(&tiny_config()).unwrap();
+        let mut wide_cfg = tiny_config();
+        wide_cfg.path = NetworkPath::wide_area();
+        let wide = run_experiment(&wide_cfg).unwrap();
+        let mean_c: f64 = campus
+            .summaries
+            .iter()
+            .map(|s| s.mean_transfer_seconds)
+            .sum::<f64>()
+            / 4.0;
+        let mean_w: f64 = wide
+            .summaries
+            .iter()
+            .map(|s| s.mean_transfer_seconds)
+            .sum::<f64>()
+            / 4.0;
+        assert!(mean_w > 2.0 * mean_c, "campus {mean_c} wide {mean_w}");
+    }
+}

@@ -1,0 +1,320 @@
+//! Per-process event logs — "The manager keeps a log file for each test
+//! process from which the overhead ratio can be calculated *post facto*"
+//! (§5.2).
+//!
+//! A [`ProcessLog`] is the raw, append-only record of everything the
+//! manager saw for one run: placement, every transfer start/completion/
+//! interruption, every `T_opt` the process reported, the heartbeat count,
+//! and the eviction. [`ProcessLog::digest`] recomputes the run's summary
+//! metrics *only* from the events, and a test asserts the digest agrees
+//! with the live [`RunRecord`] — i.e., the post-facto analysis pipeline
+//! reproduces the online accounting, exactly the property the paper's
+//! methodology relies on.
+//!
+//! Logs serialize as JSON Lines (one event per line) so campaigns can be
+//! streamed to disk and replayed later.
+
+use crate::manager::{RunRecord, TransferKind};
+use chs_trace::MachineId;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// One event in a test-process log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogEvent {
+    /// The negotiator placed the process.
+    Placed {
+        /// Virtual time of placement.
+        at: f64,
+        /// Machine it landed on.
+        machine: MachineId,
+        /// Machine age (`T_elapsed`) at placement.
+        age: f64,
+    },
+    /// A transfer started.
+    TransferStarted {
+        /// Virtual time.
+        at: f64,
+        /// Recovery (manager → process) or checkpoint (process → manager).
+        kind: TransferKind,
+    },
+    /// A transfer finished.
+    TransferCompleted {
+        /// Virtual time of completion.
+        at: f64,
+        /// Measured duration, seconds.
+        seconds: f64,
+        /// Megabytes delivered.
+        megabytes: f64,
+    },
+    /// A transfer was cut off by eviction.
+    TransferInterrupted {
+        /// Virtual time of the eviction.
+        at: f64,
+        /// Seconds the transfer ran before dying.
+        elapsed: f64,
+        /// Partial megabytes that crossed the network.
+        megabytes: f64,
+    },
+    /// The process reported the `T_opt` it computed for its next interval.
+    IntervalPlanned {
+        /// Virtual time of the report.
+        at: f64,
+        /// The planned work interval, seconds.
+        t_opt: f64,
+    },
+    /// A work interval's checkpoint committed, crediting the work.
+    WorkCommitted {
+        /// Virtual time.
+        at: f64,
+        /// Work seconds credited.
+        seconds: f64,
+    },
+    /// The owner reclaimed the machine; the trace of heartbeats ends.
+    Evicted {
+        /// Virtual time of eviction.
+        at: f64,
+        /// Total heartbeats the manager received.
+        heartbeats: u64,
+    },
+}
+
+/// The manager's log for one test process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessLog {
+    /// Events in chronological order.
+    pub events: Vec<LogEvent>,
+}
+
+/// Post-facto digest computed from a log alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogDigest {
+    /// Committed work seconds.
+    pub useful_seconds: f64,
+    /// Placement-to-eviction occupancy.
+    pub occupied_seconds: f64,
+    /// Total megabytes moved.
+    pub megabytes: f64,
+    /// Committed checkpoints.
+    pub checkpoints_committed: u64,
+    /// Overhead ratio `occupied/useful` (∞ when no work committed).
+    pub overhead_ratio: f64,
+    /// Efficiency `useful/occupied`.
+    pub efficiency: f64,
+}
+
+impl ProcessLog {
+    /// Reconstruct the event log a manager would have written for `run`.
+    pub fn from_run(run: &RunRecord) -> Self {
+        let mut events = vec![LogEvent::Placed {
+            at: run.placed_at,
+            machine: run.machine,
+            age: run.age_at_placement,
+        }];
+        let mut t_opts = run.t_opts.iter();
+        for tr in &run.transfers {
+            events.push(LogEvent::TransferStarted {
+                at: tr.started_at,
+                kind: tr.kind,
+            });
+            if tr.completed {
+                let done_at = tr.started_at + tr.elapsed;
+                events.push(LogEvent::TransferCompleted {
+                    at: done_at,
+                    seconds: tr.elapsed,
+                    megabytes: tr.megabytes,
+                });
+                if tr.kind == TransferKind::Checkpoint {
+                    // The checkpoint's completion is the commit point of
+                    // the work interval that preceded it.
+                    events.push(LogEvent::WorkCommitted {
+                        at: done_at,
+                        seconds: 0.0, // patched below from the committed total
+                    });
+                }
+                // After a completed recovery or checkpoint the process
+                // reports its next planned interval.
+                if let Some(&t_opt) = t_opts.next() {
+                    events.push(LogEvent::IntervalPlanned { at: done_at, t_opt });
+                }
+            } else {
+                events.push(LogEvent::TransferInterrupted {
+                    at: run.evicted_at,
+                    elapsed: tr.elapsed,
+                    megabytes: tr.megabytes,
+                });
+            }
+        }
+        // Distribute the committed work over the committed checkpoints.
+        let committed = run.checkpoints_committed();
+        if committed > 0 {
+            let share = run.useful_seconds / committed as f64;
+            for e in events.iter_mut() {
+                if let LogEvent::WorkCommitted { seconds, .. } = e {
+                    *seconds = share;
+                }
+            }
+        }
+        events.push(LogEvent::Evicted {
+            at: run.evicted_at,
+            heartbeats: run.heartbeats,
+        });
+        Self { events }
+    }
+
+    /// Compute the run's metrics from the events alone.
+    pub fn digest(&self) -> LogDigest {
+        let mut placed_at = None;
+        let mut evicted_at = None;
+        let mut useful = 0.0;
+        let mut megabytes = 0.0;
+        let mut committed = 0u64;
+        for e in &self.events {
+            match e {
+                LogEvent::Placed { at, .. } => placed_at = Some(*at),
+                LogEvent::Evicted { at, .. } => evicted_at = Some(*at),
+                LogEvent::TransferCompleted { megabytes: mb, .. } => megabytes += mb,
+                LogEvent::TransferInterrupted { megabytes: mb, .. } => megabytes += mb,
+                LogEvent::WorkCommitted { seconds, .. } => {
+                    useful += seconds;
+                    committed += 1;
+                }
+                _ => {}
+            }
+        }
+        let occupied = match (placed_at, evicted_at) {
+            (Some(p), Some(e)) => (e - p).max(0.0),
+            _ => 0.0,
+        };
+        LogDigest {
+            useful_seconds: useful,
+            occupied_seconds: occupied,
+            megabytes,
+            checkpoints_committed: committed,
+            overhead_ratio: if useful > 0.0 {
+                occupied / useful
+            } else {
+                f64::INFINITY
+            },
+            efficiency: if occupied > 0.0 {
+                useful / occupied
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Write as JSON Lines.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        for e in &self.events {
+            let line = serde_json::to_string(e)
+                .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err))?;
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Read from JSON Lines.
+    pub fn read_jsonl<R: BufRead>(r: R) -> std::io::Result<Self> {
+        let mut events = Vec::new();
+        for line in r.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let e: LogEvent = serde_json::from_str(&line)
+                .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err))?;
+            events.push(e);
+        }
+        Ok(Self { events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_experiment, ExperimentConfig};
+
+    fn some_runs() -> Vec<RunRecord> {
+        let mut config = ExperimentConfig::campus();
+        config.machines = 8;
+        config.streams = 1;
+        config.window = 0.5 * 86_400.0;
+        run_experiment(&config).unwrap().runs
+    }
+
+    #[test]
+    fn digest_matches_online_accounting() {
+        // The paper's post-facto pipeline: for every run, the log digest
+        // must reproduce the online RunRecord numbers exactly.
+        let runs = some_runs();
+        assert!(!runs.is_empty());
+        for run in &runs {
+            let log = ProcessLog::from_run(run);
+            let d = log.digest();
+            assert!(
+                (d.useful_seconds - run.useful_seconds).abs() < 1e-6,
+                "useful"
+            );
+            assert!(
+                (d.occupied_seconds - run.occupied_seconds()).abs() < 1e-9,
+                "occupied"
+            );
+            assert!((d.megabytes - run.megabytes()).abs() < 1e-6, "megabytes");
+            assert_eq!(d.checkpoints_committed, run.checkpoints_committed());
+            assert!((d.efficiency - run.efficiency()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let runs = some_runs();
+        let log = ProcessLog::from_run(&runs[0]);
+        let mut buf = Vec::new();
+        log.write_jsonl(&mut buf).unwrap();
+        let back = ProcessLog::read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(log, back);
+        assert_eq!(log.digest(), back.digest());
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines_rejects_garbage() {
+        let good = r#"{"Placed":{"at":1.0,"machine":3,"age":0.0}}
+
+{"Evicted":{"at":5.0,"heartbeats":0}}"#;
+        let log = ProcessLog::read_jsonl(good.as_bytes()).unwrap();
+        assert_eq!(log.events.len(), 2);
+        assert!(ProcessLog::read_jsonl("not json\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_log_digest_is_safe() {
+        let d = ProcessLog { events: vec![] }.digest();
+        assert_eq!(d.useful_seconds, 0.0);
+        assert_eq!(d.efficiency, 0.0);
+        assert!(d.overhead_ratio.is_infinite());
+    }
+
+    #[test]
+    fn events_chronological() {
+        for run in &some_runs() {
+            let log = ProcessLog::from_run(run);
+            let times: Vec<f64> = log
+                .events
+                .iter()
+                .map(|e| match e {
+                    LogEvent::Placed { at, .. }
+                    | LogEvent::TransferStarted { at, .. }
+                    | LogEvent::TransferCompleted { at, .. }
+                    | LogEvent::TransferInterrupted { at, .. }
+                    | LogEvent::IntervalPlanned { at, .. }
+                    | LogEvent::WorkCommitted { at, .. }
+                    | LogEvent::Evicted { at, .. } => *at,
+                })
+                .collect();
+            for w in times.windows(2) {
+                assert!(w[1] + 1e-6 >= w[0], "log out of order: {times:?}");
+            }
+        }
+    }
+}

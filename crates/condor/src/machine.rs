@@ -1,0 +1,231 @@
+//! Emulated desktop machines: owner-reclamation timelines plus the
+//! historical availability data the scheduler fits its models to.
+
+use chs_trace::synthetic::{GroundTruth, PoolConfig};
+use chs_trace::MachineId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One availability segment of a machine's timeline: the owner is away
+/// during `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Segment start (virtual seconds).
+    pub start: f64,
+    /// Segment end — the owner reclaims the machine here.
+    pub end: f64,
+}
+
+impl Segment {
+    /// Segment length.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Whether `t` falls inside the segment.
+    pub fn contains(&self, t: f64) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// An emulated machine: its future availability timeline (unknown to the
+/// scheduler) and its recorded history (what the monitoring system knows).
+#[derive(Debug, Clone)]
+pub struct EmulatedMachine {
+    /// Identity within the park.
+    pub id: MachineId,
+    /// Historical availability durations (the model-training data).
+    pub history: Vec<f64>,
+    segments: Vec<Segment>,
+    /// Virtual time up to which the job slot is taken.
+    busy_until: f64,
+}
+
+impl EmulatedMachine {
+    /// Build a machine: draw its ground truth from the pool
+    /// meta-distribution, record `history_len` historical durations, and
+    /// pre-generate an availability timeline covering `horizon` seconds.
+    pub fn generate(
+        pool_config: &PoolConfig,
+        id: u32,
+        history_len: usize,
+        horizon: f64,
+        seed: u64,
+    ) -> Self {
+        // Ground truth + history come from the same generator the
+        // synthetic traces use, so live-emulation machines and trace-sim
+        // machines are statistically identical populations.
+        let mut cfg = pool_config.clone();
+        cfg.observations_per_machine = history_len;
+        cfg.seed = seed;
+        let synthetic = chs_trace::synthetic::generate_machine(&cfg, id);
+        let history = synthetic.trace.durations();
+        let truth = synthetic.ground_truth;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (u64::from(id) << 20) ^ 0xEC11);
+        let segments = build_timeline(&truth, pool_config.mean_gap, horizon, &mut rng);
+        Self {
+            id: MachineId(id),
+            history,
+            segments,
+            busy_until: 0.0,
+        }
+    }
+
+    /// The machine's availability segments (future timeline).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Earliest time ≥ `t` at which this machine is available *and* its
+    /// job slot is free, together with that segment. `None` if the
+    /// timeline is exhausted.
+    pub fn next_free_available(&self, t: f64) -> Option<(f64, Segment)> {
+        let t = t.max(self.busy_until);
+        self.segments.iter().find_map(|seg| {
+            if seg.end <= t {
+                None
+            } else {
+                Some((t.max(seg.start), *seg))
+            }
+        })
+    }
+
+    /// Mark the job slot taken until `t` (the eviction time of the run
+    /// just placed).
+    pub fn occupy_until(&mut self, t: f64) {
+        self.busy_until = self.busy_until.max(t);
+    }
+}
+
+fn build_timeline(
+    truth: &GroundTruth,
+    mean_gap: f64,
+    horizon: f64,
+    rng: &mut ChaCha8Rng,
+) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    // Random initial phase so machines start desynchronized.
+    let mut t = rng.gen::<f64>() * mean_gap;
+    while t < horizon {
+        let d = truth.sample_duration(t, rng).max(1.0);
+        segments.push(Segment {
+            start: t,
+            end: t + d,
+        });
+        let gap = -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() * mean_gap;
+        t += d + gap;
+    }
+    segments
+}
+
+/// The full machine park available to the negotiator.
+#[derive(Debug, Clone)]
+pub struct MachinePark {
+    machines: Vec<EmulatedMachine>,
+}
+
+impl MachinePark {
+    /// Generate `n` machines with timelines covering `horizon` seconds.
+    pub fn generate(
+        pool_config: &PoolConfig,
+        n: usize,
+        history_len: usize,
+        horizon: f64,
+        seed: u64,
+    ) -> Self {
+        let machines = (0..n as u32)
+            .map(|i| EmulatedMachine::generate(pool_config, i, history_len, horizon, seed))
+            .collect();
+        Self { machines }
+    }
+
+    /// All machines.
+    pub fn machines(&self) -> &[EmulatedMachine] {
+        &self.machines
+    }
+
+    /// Mutable access for the negotiator.
+    pub fn machines_mut(&mut self) -> &mut [EmulatedMachine] {
+        &mut self.machines
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the park is empty.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn park() -> MachinePark {
+        MachinePark::generate(&PoolConfig::default(), 6, 30, 10.0 * 86_400.0, 42)
+    }
+
+    #[test]
+    fn timelines_ordered_and_disjoint() {
+        for m in park().machines() {
+            let segs = m.segments();
+            assert!(!segs.is_empty());
+            for w in segs.windows(2) {
+                assert!(w[0].end < w[1].start, "segments overlap or touch");
+            }
+            for s in segs {
+                assert!(s.duration() >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn history_present_for_training() {
+        for m in park().machines() {
+            assert_eq!(m.history.len(), 30);
+            assert!(m.history.iter().all(|&d| d > 0.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = MachinePark::generate(&PoolConfig::default(), 3, 10, 86_400.0, 7);
+        let b = MachinePark::generate(&PoolConfig::default(), 3, 10, 86_400.0, 7);
+        for (x, y) in a.machines().iter().zip(b.machines()) {
+            assert_eq!(x.segments(), y.segments());
+            assert_eq!(x.history, y.history);
+        }
+    }
+
+    #[test]
+    fn next_free_available_skips_busy() {
+        let mut p = park();
+        let m = &mut p.machines_mut()[0];
+        let (t0, seg0) = m.next_free_available(0.0).unwrap();
+        assert!(seg0.contains(t0));
+        m.occupy_until(seg0.end);
+        let (t1, seg1) = m.next_free_available(0.0).unwrap();
+        assert!(t1 >= seg0.end);
+        assert!(seg1.start >= seg0.end);
+    }
+
+    #[test]
+    fn mid_segment_placement_has_positive_age() {
+        let p = park();
+        let m = &p.machines()[0];
+        let seg = m.segments()[0];
+        let mid = 0.5 * (seg.start + seg.end);
+        let (t, s) = m.next_free_available(mid).unwrap();
+        if s == seg {
+            assert_eq!(t, mid);
+            assert!(
+                t - s.start > 0.0,
+                "age should be positive for mid-segment placement"
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The checkpoint manager's view of a run: transfer records, heartbeats,
+//! and the per-run log from which efficiency and network load are
+//! computed *post facto* (paper §5.2).
+
+use chs_dist::ModelKind;
+use chs_trace::MachineId;
+use serde::{Deserialize, Serialize};
+
+/// Direction/purpose of a 500 MB transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferKind {
+    /// Manager → process: initial recovery of the memory image.
+    Recovery,
+    /// Process → manager: a checkpoint.
+    Checkpoint,
+}
+
+/// One logged transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Recovery or checkpoint.
+    pub kind: TransferKind,
+    /// Virtual time the transfer started.
+    pub started_at: f64,
+    /// Seconds the transfer would need to complete.
+    pub full_duration: f64,
+    /// Seconds it actually ran (== `full_duration` unless evicted).
+    pub elapsed: f64,
+    /// Whether it completed.
+    pub completed: bool,
+    /// Megabytes that crossed the network (partial when interrupted).
+    pub megabytes: f64,
+}
+
+/// The manager's log for one test-process run (one placement → one
+/// eviction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Machine the process ran on.
+    pub machine: MachineId,
+    /// Availability model the process was told to use.
+    pub model: ModelKind,
+    /// Virtual time of placement.
+    pub placed_at: f64,
+    /// Machine age (`T_elapsed`) at placement.
+    pub age_at_placement: f64,
+    /// Virtual time of eviction.
+    pub evicted_at: f64,
+    /// Every transfer of the run, in order.
+    pub transfers: Vec<TransferRecord>,
+    /// The sequence of `T_opt` values the process computed.
+    pub t_opts: Vec<f64>,
+    /// Seconds of committed work (work intervals whose checkpoint
+    /// transfer completed).
+    pub useful_seconds: f64,
+    /// Heartbeat messages received (one per 10 s of execution).
+    pub heartbeats: u64,
+}
+
+impl RunRecord {
+    /// Total wall-clock the process occupied the machine.
+    pub fn occupied_seconds(&self) -> f64 {
+        self.evicted_at - self.placed_at
+    }
+
+    /// Total megabytes moved during the run.
+    pub fn megabytes(&self) -> f64 {
+        self.transfers.iter().map(|t| t.megabytes).sum()
+    }
+
+    /// Run efficiency: committed work over occupied time.
+    pub fn efficiency(&self) -> f64 {
+        let occ = self.occupied_seconds();
+        if occ > 0.0 {
+            self.useful_seconds / occ
+        } else {
+            0.0
+        }
+    }
+
+    /// Checkpoints that committed.
+    pub fn checkpoints_committed(&self) -> u64 {
+        self.transfers
+            .iter()
+            .filter(|t| t.kind == TransferKind::Checkpoint && t.completed)
+            .count() as u64
+    }
+
+    /// Mean duration of the run's *completed* transfers — the measured
+    /// checkpoint cost this run experienced.
+    pub fn mean_transfer_seconds(&self) -> Option<f64> {
+        let completed: Vec<f64> = self
+            .transfers
+            .iter()
+            .filter(|t| t.completed)
+            .map(|t| t.elapsed)
+            .collect();
+        if completed.is_empty() {
+            None
+        } else {
+            Some(completed.iter().sum::<f64>() / completed.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> RunRecord {
+        RunRecord {
+            machine: MachineId(1),
+            model: ModelKind::Weibull,
+            placed_at: 1_000.0,
+            age_at_placement: 250.0,
+            evicted_at: 5_000.0,
+            transfers: vec![
+                TransferRecord {
+                    kind: TransferKind::Recovery,
+                    started_at: 1_000.0,
+                    full_duration: 110.0,
+                    elapsed: 110.0,
+                    completed: true,
+                    megabytes: 500.0,
+                },
+                TransferRecord {
+                    kind: TransferKind::Checkpoint,
+                    started_at: 2_500.0,
+                    full_duration: 120.0,
+                    elapsed: 120.0,
+                    completed: true,
+                    megabytes: 500.0,
+                },
+                TransferRecord {
+                    kind: TransferKind::Checkpoint,
+                    started_at: 4_950.0,
+                    full_duration: 100.0,
+                    elapsed: 50.0,
+                    completed: false,
+                    megabytes: 250.0,
+                },
+            ],
+            t_opts: vec![1_390.0, 2_330.0],
+            useful_seconds: 1_390.0,
+            heartbeats: 139,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = record();
+        assert_eq!(r.occupied_seconds(), 4_000.0);
+        assert_eq!(r.megabytes(), 1_250.0);
+        assert!((r.efficiency() - 1_390.0 / 4_000.0).abs() < 1e-12);
+        assert_eq!(r.checkpoints_committed(), 1);
+        assert_eq!(r.mean_transfer_seconds(), Some(115.0));
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let r = RunRecord {
+            machine: MachineId(0),
+            model: ModelKind::Exponential,
+            placed_at: 10.0,
+            age_at_placement: 0.0,
+            evicted_at: 10.0,
+            transfers: vec![],
+            t_opts: vec![],
+            useful_seconds: 0.0,
+            heartbeats: 0,
+        };
+        assert_eq!(r.efficiency(), 0.0);
+        assert_eq!(r.mean_transfer_seconds(), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = record();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

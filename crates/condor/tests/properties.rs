@@ -1,0 +1,97 @@
+//! Property-based tests for the Condor emulation.
+
+use chs_condor::{run_experiment, ExperimentConfig, ProcessLog, TransferKind};
+use proptest::prelude::*;
+
+fn config(seed: u64, machines: usize) -> ExperimentConfig {
+    let mut c = ExperimentConfig::campus();
+    c.machines = machines.max(2);
+    c.streams = 1;
+    c.window = 0.25 * 86_400.0;
+    c.seed = seed;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every run of every experiment satisfies the structural invariants,
+    /// whatever the seed and pool size.
+    #[test]
+    fn run_invariants(seed in 0u64..5_000, machines in 2usize..12) {
+        let result = run_experiment(&config(seed, machines)).unwrap();
+        for r in &result.runs {
+            prop_assert!(r.evicted_at > r.placed_at);
+            prop_assert!(r.age_at_placement >= 0.0);
+            prop_assert!(r.useful_seconds >= 0.0);
+            prop_assert!(r.useful_seconds <= r.occupied_seconds() + 1e-9);
+            // First transfer is always the recovery; committed work needs
+            // a committed checkpoint.
+            if let Some(first) = r.transfers.first() {
+                prop_assert!(first.kind == TransferKind::Recovery);
+            }
+            if r.useful_seconds > 0.0 {
+                prop_assert!(r.checkpoints_committed() > 0);
+            }
+            // At most one interrupted transfer per run, and only at the end.
+            let interrupted = r.transfers.iter().filter(|t| !t.completed).count();
+            prop_assert!(interrupted <= 1);
+            if interrupted == 1 {
+                prop_assert!(!r.transfers.last().unwrap().completed);
+            }
+            // Planned intervals are positive and finite.
+            for &t in &r.t_opts {
+                prop_assert!(t.is_finite() && t > 0.0);
+            }
+        }
+        // Summaries cover exactly the paper's four models.
+        prop_assert_eq!(result.summaries.len(), 4);
+        let total_runs: usize = result.summaries.iter().map(|s| s.sample_size).sum();
+        prop_assert_eq!(total_runs, result.runs.len());
+    }
+
+    /// The post-facto log digest reproduces every run's metrics for any
+    /// seed (not just the fixed one in the unit tests).
+    #[test]
+    fn log_digest_faithful(seed in 0u64..5_000) {
+        let result = run_experiment(&config(seed, 6)).unwrap();
+        for r in &result.runs {
+            let d = ProcessLog::from_run(r).digest();
+            prop_assert!((d.useful_seconds - r.useful_seconds).abs() < 1e-6);
+            prop_assert!((d.megabytes - r.megabytes()).abs() < 1e-6);
+            prop_assert_eq!(d.checkpoints_committed, r.checkpoints_committed());
+        }
+    }
+
+    /// Runs never overlap on the same machine within a stream.
+    #[test]
+    fn no_machine_double_booking(seed in 0u64..5_000) {
+        let result = run_experiment(&config(seed, 4)).unwrap();
+        use std::collections::HashMap;
+        // Group per (model, machine): within one model's stream, runs on
+        // the same machine must be disjoint in time.
+        let mut by_key: HashMap<(u32, &'static str), Vec<(f64, f64)>> = HashMap::new();
+        for r in &result.runs {
+            let label: &'static str = match r.model {
+                chs_dist::ModelKind::Exponential => "e",
+                chs_dist::ModelKind::Weibull => "w",
+                chs_dist::ModelKind::HyperExponential { phases: 2 } => "2",
+                _ => "3",
+            };
+            by_key
+                .entry((r.machine.0, label))
+                .or_default()
+                .push((r.placed_at, r.evicted_at));
+        }
+        for intervals in by_key.values_mut() {
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in intervals.windows(2) {
+                prop_assert!(
+                    w[1].0 >= w[0].1 - 1e-9,
+                    "overlapping runs: {:?}",
+                    w
+                );
+            }
+        }
+    }
+}

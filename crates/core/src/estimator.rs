@@ -1,0 +1,144 @@
+//! [`CostEstimator`]: turns observed checkpoint/recovery transfer times
+//! into the `C` and `R` fed to the optimizer, using the NWS-style
+//! adaptive forecaster from `chs-net`.
+
+use chs_net::forecast::Forecaster;
+use chs_net::AdaptiveForecaster;
+
+/// Streams transfer-time measurements and predicts the next checkpoint
+/// and recovery costs.
+///
+/// The paper's test process uses the *latest* measured transfer time as
+/// both `C` and `R` for the next interval; this estimator generalizes
+/// that with the forecaster battery while still supporting the paper's
+/// behaviour via [`CostEstimator::last_measurement`].
+pub struct CostEstimator {
+    checkpoint: AdaptiveForecaster,
+    recovery: AdaptiveForecaster,
+    last_checkpoint: Option<f64>,
+    last_recovery: Option<f64>,
+    fallback: f64,
+}
+
+impl CostEstimator {
+    /// Create with a fallback cost used before any measurement arrives
+    /// (e.g. the path's nominal 500 MB transfer time).
+    pub fn new(fallback_cost: f64) -> Self {
+        Self {
+            checkpoint: AdaptiveForecaster::standard(),
+            recovery: AdaptiveForecaster::standard(),
+            last_checkpoint: None,
+            last_recovery: None,
+            fallback: fallback_cost.max(0.0),
+        }
+    }
+
+    /// Record a measured checkpoint transfer duration.
+    pub fn observe_checkpoint(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.checkpoint.update(seconds);
+            self.last_checkpoint = Some(seconds);
+        }
+    }
+
+    /// Record a measured recovery transfer duration.
+    pub fn observe_recovery(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.recovery.update(seconds);
+            self.last_recovery = Some(seconds);
+        }
+    }
+
+    /// Forecast the next checkpoint cost `C`.
+    pub fn checkpoint_cost(&self) -> f64 {
+        self.checkpoint.predict().unwrap_or(self.fallback)
+    }
+
+    /// Forecast the next recovery cost `R`. Falls back to the checkpoint
+    /// forecast (the paper assumes `C = R` on a symmetric path) before
+    /// any recovery has been observed.
+    pub fn recovery_cost(&self) -> f64 {
+        self.recovery
+            .predict()
+            .unwrap_or_else(|| self.checkpoint_cost())
+    }
+
+    /// The most recent raw measurements `(C, R)` — the paper's policy.
+    pub fn last_measurement(&self) -> (f64, f64) {
+        let c = self.last_checkpoint.unwrap_or(self.fallback);
+        let r = self.last_recovery.unwrap_or(c);
+        (c, r)
+    }
+}
+
+impl std::fmt::Debug for CostEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CostEstimator")
+            .field("checkpoint_cost", &self.checkpoint_cost())
+            .field("recovery_cost", &self.recovery_cost())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallback_before_measurements() {
+        let e = CostEstimator::new(110.0);
+        assert_eq!(e.checkpoint_cost(), 110.0);
+        assert_eq!(e.recovery_cost(), 110.0);
+        assert_eq!(e.last_measurement(), (110.0, 110.0));
+    }
+
+    #[test]
+    fn tracks_measurements() {
+        let mut e = CostEstimator::new(110.0);
+        for v in [100.0, 120.0, 110.0, 115.0, 105.0] {
+            e.observe_checkpoint(v);
+        }
+        let c = e.checkpoint_cost();
+        assert!(c > 90.0 && c < 130.0, "c={c}");
+        // No recovery observed yet → recovery mirrors checkpoint forecast.
+        assert_eq!(e.recovery_cost(), c);
+        e.observe_recovery(480.0);
+        assert!(e.recovery_cost() > 200.0);
+    }
+
+    #[test]
+    fn ignores_garbage_measurements() {
+        let mut e = CostEstimator::new(110.0);
+        e.observe_checkpoint(f64::NAN);
+        e.observe_checkpoint(-5.0);
+        e.observe_checkpoint(0.0);
+        assert_eq!(e.checkpoint_cost(), 110.0);
+    }
+
+    #[test]
+    fn last_measurement_is_paper_policy() {
+        let mut e = CostEstimator::new(110.0);
+        e.observe_checkpoint(95.0);
+        e.observe_checkpoint(130.0);
+        e.observe_recovery(101.0);
+        assert_eq!(e.last_measurement(), (130.0, 101.0));
+    }
+
+    #[test]
+    fn adapts_to_path_change() {
+        // Campus → wide area: forecasts must follow within a handful of
+        // measurements.
+        let mut e = CostEstimator::new(110.0);
+        for _ in 0..20 {
+            e.observe_checkpoint(110.0);
+        }
+        for _ in 0..40 {
+            e.observe_checkpoint(475.0);
+        }
+        assert!(
+            e.checkpoint_cost() > 300.0,
+            "stuck at {}",
+            e.checkpoint_cost()
+        );
+    }
+}

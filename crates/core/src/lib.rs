@@ -1,0 +1,67 @@
+//! High-level checkpoint-scheduling API — the system the paper describes,
+//! assembled: record availability history per machine, fit a statistical
+//! model, combine it with network cost estimates, and emit optimal
+//! checkpoint schedules.
+//!
+//! ```
+//! use chs_core::{CheckpointScheduler, SchedulerConfig};
+//! use chs_dist::ModelKind;
+//!
+//! let history = vec![1200.0, 300.0, 86_400.0, 4_500.0, 600.0, 30_000.0,
+//!                    900.0, 2_000.0, 1_500.0, 60_000.0, 450.0, 700.0];
+//! let scheduler = CheckpointScheduler::fit(
+//!     &history,
+//!     ModelKind::Weibull,
+//!     SchedulerConfig { checkpoint_cost: 110.0, recovery_cost: 110.0, ..Default::default() },
+//! ).unwrap();
+//! let first = scheduler.next_interval(600.0).unwrap();
+//! assert!(first.work_seconds > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod estimator;
+mod history;
+mod scheduler;
+
+pub use estimator::CostEstimator;
+pub use history::HistoryStore;
+pub use scheduler::{CheckpointScheduler, SchedulerConfig};
+
+/// Errors from the facade.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Model fitting failed.
+    Fit(chs_dist::DistError),
+    /// Schedule optimization failed.
+    Markov(chs_markov::MarkovError),
+    /// Invalid configuration.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Fit(e) => write!(f, "fit: {e}"),
+            CoreError::Markov(e) => write!(f, "schedule: {e}"),
+            CoreError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<chs_dist::DistError> for CoreError {
+    fn from(e: chs_dist::DistError) -> Self {
+        CoreError::Fit(e)
+    }
+}
+
+impl From<chs_markov::MarkovError> for CoreError {
+    fn from(e: chs_markov::MarkovError) -> Self {
+        CoreError::Markov(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

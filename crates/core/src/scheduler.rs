@@ -1,0 +1,266 @@
+//! The [`CheckpointScheduler`]: fitted model + costs → optimal intervals
+//! and schedules.
+
+use crate::{CoreError, Result};
+use chs_dist::fit::fit_model;
+use chs_dist::{gof, FittedModel, ModelKind};
+use chs_markov::{CheckpointCosts, OptimalInterval, Schedule, VaidyaModel};
+use serde::{Deserialize, Serialize};
+
+/// Scheduler configuration: the phase costs and optimizer bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Checkpoint cost `C`, seconds (time to push one image over the
+    /// network to the checkpoint manager).
+    pub checkpoint_cost: f64,
+    /// Recovery cost `R`, seconds.
+    pub recovery_cost: f64,
+    /// Smallest work interval the optimizer may choose.
+    pub min_interval: f64,
+    /// Largest work interval the optimizer may choose.
+    pub max_interval: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_cost: 110.0, // the paper's measured campus-path mean
+            recovery_cost: 110.0,
+            min_interval: 1.0,
+            max_interval: 30.0 * 86_400.0,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    fn costs(&self) -> CheckpointCosts {
+        CheckpointCosts::new(self.checkpoint_cost, self.recovery_cost)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.checkpoint_cost.is_finite() && self.checkpoint_cost >= 0.0) {
+            return Err(CoreError::InvalidConfig(
+                "checkpoint_cost must be finite, >= 0",
+            ));
+        }
+        if !(self.recovery_cost.is_finite() && self.recovery_cost >= 0.0) {
+            return Err(CoreError::InvalidConfig(
+                "recovery_cost must be finite, >= 0",
+            ));
+        }
+        if !(self.min_interval > 0.0 && self.max_interval > self.min_interval) {
+            return Err(CoreError::InvalidConfig(
+                "need 0 < min_interval < max_interval",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A checkpoint scheduler for one machine: the paper's "small, portable
+/// routine" plus the model-fitting front end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointScheduler {
+    model: FittedModel,
+    config: SchedulerConfig,
+}
+
+impl CheckpointScheduler {
+    /// Fit `kind` to the machine's recorded availability durations and
+    /// build a scheduler.
+    pub fn fit(history: &[f64], kind: ModelKind, config: SchedulerConfig) -> Result<Self> {
+        config.validate()?;
+        let model = fit_model(kind, history)?;
+        Ok(Self { model, config })
+    }
+
+    /// Fit all four paper models and keep the one with the lowest BIC —
+    /// automatic model selection (an extension beyond the paper, which
+    /// compares the families but does not auto-select).
+    pub fn fit_best(history: &[f64], config: SchedulerConfig) -> Result<Self> {
+        config.validate()?;
+        let mut best: Option<(f64, FittedModel)> = None;
+        let mut last_err = None;
+        for kind in ModelKind::PAPER_SET {
+            match fit_model(kind, history) {
+                Ok(model) => {
+                    let bic = gof::bic(&model, history);
+                    if best.as_ref().is_none_or(|(b, _)| bic < *b) {
+                        best = Some((bic, model));
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match best {
+            Some((_, model)) => Ok(Self { model, config }),
+            None => Err(CoreError::Fit(
+                last_err.expect("at least one fit attempted"),
+            )),
+        }
+    }
+
+    /// Wrap an already-fitted model.
+    pub fn from_model(model: FittedModel, config: SchedulerConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { model, config })
+    }
+
+    /// The fitted availability model.
+    pub fn model(&self) -> &FittedModel {
+        &self.model
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Replace the phase costs with freshly measured transfer times —
+    /// what the paper's test process does after every checkpoint.
+    pub fn update_costs(&mut self, checkpoint_cost: f64, recovery_cost: f64) -> Result<()> {
+        let mut next = self.config;
+        next.checkpoint_cost = checkpoint_cost;
+        next.recovery_cost = recovery_cost;
+        next.validate()?;
+        self.config = next;
+        Ok(())
+    }
+
+    fn vaidya(&self) -> Result<VaidyaModel<'_>> {
+        Ok(VaidyaModel::new(&self.model, self.config.costs())?
+            .with_bounds(self.config.min_interval, self.config.max_interval)?)
+    }
+
+    /// The optimal next work interval for a machine that has been
+    /// available `age` seconds (the paper's `T_elapsed`).
+    pub fn next_interval(&self, age: f64) -> Result<OptimalInterval> {
+        Ok(self.vaidya()?.optimal_interval(age)?)
+    }
+
+    /// A full aperiodic schedule from `age`, planning up to `horizon`
+    /// seconds or `max_intervals` intervals.
+    pub fn schedule(&self, age: f64, horizon: f64, max_intervals: usize) -> Result<Schedule> {
+        Ok(Schedule::compute(
+            &self.vaidya()?,
+            age,
+            horizon,
+            max_intervals,
+        )?)
+    }
+
+    /// Predicted steady-state efficiency at the optimum for a machine of
+    /// `age` (the reciprocal of the minimized Γ/T).
+    pub fn predicted_efficiency(&self, age: f64) -> Result<f64> {
+        Ok(self.next_interval(age)?.efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chs_dist::AvailabilityModel;
+    use rand::SeedableRng;
+
+    fn history(n: usize, seed: u64) -> Vec<f64> {
+        let truth = chs_dist::Weibull::paper_exemplar();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| truth.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = SchedulerConfig {
+            checkpoint_cost: -1.0,
+            ..Default::default()
+        };
+        assert!(CheckpointScheduler::fit(&history(50, 1), ModelKind::Weibull, bad).is_err());
+        let bad = SchedulerConfig {
+            min_interval: 10.0,
+            max_interval: 5.0,
+            ..Default::default()
+        };
+        assert!(CheckpointScheduler::fit(&history(50, 1), ModelKind::Weibull, bad).is_err());
+    }
+
+    #[test]
+    fn fit_and_schedule_roundtrip() {
+        let s = CheckpointScheduler::fit(
+            &history(200, 2),
+            ModelKind::Weibull,
+            SchedulerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(s.model().kind(), ModelKind::Weibull);
+        let sched = s.schedule(0.0, 100_000.0, 32).unwrap();
+        assert!(!sched.is_empty());
+        let eff = s.predicted_efficiency(0.0).unwrap();
+        assert!(eff > 0.0 && eff <= 1.0);
+    }
+
+    #[test]
+    fn fit_best_picks_plausible_model_on_weavy_data() {
+        // Heavy-tailed Weibull data: BIC should not select the exponential.
+        let s =
+            CheckpointScheduler::fit_best(&history(1_500, 3), SchedulerConfig::default()).unwrap();
+        assert_ne!(
+            s.model().kind(),
+            ModelKind::Exponential,
+            "picked {:?}",
+            s.model().kind()
+        );
+    }
+
+    #[test]
+    fn fit_best_picks_exponential_on_memoryless_data() {
+        let truth = chs_dist::Exponential::from_mean(3_600.0).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        use chs_dist::AvailabilityModel;
+        let data: Vec<f64> = (0..1_500).map(|_| truth.sample(&mut rng)).collect();
+        let s = CheckpointScheduler::fit_best(&data, SchedulerConfig::default()).unwrap();
+        assert_eq!(s.model().kind(), ModelKind::Exponential);
+    }
+
+    #[test]
+    fn measured_costs_change_interval() {
+        let mut s = CheckpointScheduler::fit(
+            &history(200, 5),
+            ModelKind::Weibull,
+            SchedulerConfig::default(),
+        )
+        .unwrap();
+        let t_cheap = s.next_interval(1_000.0).unwrap().work_seconds;
+        s.update_costs(475.0, 475.0).unwrap(); // wide-area path measured
+        let t_dear = s.next_interval(1_000.0).unwrap().work_seconds;
+        assert!(t_dear > t_cheap, "costlier checkpoints → longer intervals");
+        assert!(s.update_costs(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn interval_respects_bounds() {
+        let cfg = SchedulerConfig {
+            checkpoint_cost: 500.0,
+            recovery_cost: 500.0,
+            min_interval: 100.0,
+            max_interval: 2_000.0,
+        };
+        let s = CheckpointScheduler::fit(&history(200, 6), ModelKind::Weibull, cfg).unwrap();
+        for &age in &[0.0, 10_000.0, 500_000.0] {
+            let t = s.next_interval(age).unwrap().work_seconds;
+            assert!((100.0..=2_000.0).contains(&t), "age={age} t={t}");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = CheckpointScheduler::fit(
+            &history(100, 7),
+            ModelKind::HyperExponential { phases: 2 },
+            SchedulerConfig::default(),
+        )
+        .unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CheckpointScheduler = serde_json::from_str(&json).unwrap();
+        assert_eq!(s.model().kind(), back.model().kind());
+    }
+}

@@ -1,0 +1,219 @@
+//! [`FutureLifetime`]: a distribution view conditioned on observed age.
+//!
+//! Paper Eq. 8: once a resource has been available `t` seconds, the
+//! distribution of its *remaining* lifetime is
+//! `F_t(x) = (F(t + x) − F(t)) / (1 − F(t))`. This wrapper presents that
+//! conditional distribution through the same [`AvailabilityModel`]-shaped
+//! surface, so the Markov model can treat "machine of age t" as just
+//! another lifetime distribution.
+
+use crate::AvailabilityModel;
+
+/// A borrowed view of an availability distribution conditioned on the
+/// resource having already survived `age` seconds.
+#[derive(Clone, Copy)]
+pub struct FutureLifetime<'a> {
+    model: &'a dyn AvailabilityModel,
+    age: f64,
+}
+
+impl<'a> FutureLifetime<'a> {
+    /// Condition `model` on survival to `age` (clamped at 0).
+    pub fn new(model: &'a dyn AvailabilityModel, age: f64) -> Self {
+        Self {
+            model,
+            age: age.max(0.0),
+        }
+    }
+
+    /// The conditioning age `t`.
+    pub fn age(&self) -> f64 {
+        self.age
+    }
+
+    /// Conditional CDF `F_t(x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.model.conditional_cdf(self.age, x)
+    }
+
+    /// Conditional survival `S_t(x)`.
+    pub fn survival(&self, x: f64) -> f64 {
+        self.model.conditional_survival(self.age, x)
+    }
+
+    /// Conditional density `f_t(x)`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.model.conditional_pdf(self.age, x)
+    }
+
+    /// `∫₀^a S_t(x) dx` — closed-form per family where available.
+    pub fn survival_integral(&self, a: f64) -> f64 {
+        self.model.conditional_survival_integral(self.age, a)
+    }
+
+    /// Truncated conditional mean `E[x | x < a]` under `F_t`, computed via
+    /// the integration-by-parts identity
+    /// `E[x | x < a] = (∫₀^a S_t(x) dx − a·S_t(a)) / F_t(a)`,
+    /// which only needs the survival integral (closed-form for all three
+    /// paper families — this sits in the optimizer's innermost loop).
+    /// This is the `K02`/`K22` cost of the paper's Markov model.
+    ///
+    /// Returns 0 when `F_t(a) = 0` (failure within `a` is impossible, so
+    /// the conditional mean is vacuous and the caller's `P·K` product is 0
+    /// either way).
+    pub fn truncated_mean(&self, a: f64) -> f64 {
+        if a <= 0.0 {
+            return 0.0;
+        }
+        let fa = self.cdf(a);
+        if fa <= 0.0 {
+            return 0.0;
+        }
+        let integral = self.survival_integral(a);
+        (((integral - a * self.survival(a)) / fa).max(0.0)).min(a)
+    }
+
+    /// Advance the view: a machine of age `t` that survives another `dt`
+    /// seconds is a machine of age `t + dt`.
+    pub fn aged(&self, dt: f64) -> FutureLifetime<'a> {
+        FutureLifetime {
+            model: self.model,
+            age: self.age + dt.max(0.0),
+        }
+    }
+}
+
+impl std::fmt::Debug for FutureLifetime<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FutureLifetime")
+            .field("age", &self.age)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Exponential, HyperExponential, Weibull};
+    use chs_numerics::approx_eq;
+
+    #[test]
+    fn age_zero_equals_unconditional() {
+        let w = Weibull::paper_exemplar();
+        let fl = FutureLifetime::new(&w, 0.0);
+        for &x in &[1.0, 100.0, 10_000.0] {
+            assert!(approx_eq(fl.cdf(x), w.cdf(x), 1e-13, 1e-14));
+        }
+    }
+
+    #[test]
+    fn negative_age_clamps_to_zero() {
+        let w = Weibull::paper_exemplar();
+        let fl = FutureLifetime::new(&w, -50.0);
+        assert_eq!(fl.age(), 0.0);
+    }
+
+    #[test]
+    fn exponential_truncated_mean_closed_form() {
+        // E[x | x < a] = 1/λ − a e^{−λa} / (1 − e^{−λa})
+        let e = Exponential::new(0.01).unwrap();
+        let fl = FutureLifetime::new(&e, 1_234.0); // age irrelevant
+        for &a in &[10.0, 100.0, 1_000.0] {
+            let la: f64 = 0.01 * a;
+            let expected = 100.0 - a * (-la).exp() / (1.0 - (-la).exp());
+            let got = fl.truncated_mean(a);
+            assert!(
+                approx_eq(got, expected, 1e-7, 1e-8),
+                "a={a} got={got} want={expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_mean_below_truncation_point() {
+        let h = HyperExponential::new(&[(0.7, 1.0 / 300.0), (0.3, 1.0 / 30_000.0)]).unwrap();
+        for &age in &[0.0, 500.0, 20_000.0] {
+            let fl = FutureLifetime::new(&h, age);
+            for &a in &[50.0, 600.0, 10_000.0] {
+                let m = fl.truncated_mean(a);
+                assert!(m > 0.0 && m < a, "age={age} a={a} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_mean_approaches_conditional_mean() {
+        // As a → ∞ the truncated mean approaches the full conditional mean;
+        // for the exponential that is 1/λ by memorylessness.
+        let e = Exponential::new(0.002).unwrap();
+        let fl = FutureLifetime::new(&e, 777.0);
+        let m = fl.truncated_mean(50_000.0);
+        assert!(approx_eq(m, 500.0, 1e-4, 0.1), "m={m}");
+    }
+
+    #[test]
+    fn aged_accumulates() {
+        let w = Weibull::paper_exemplar();
+        let fl = FutureLifetime::new(&w, 100.0).aged(400.0).aged(500.0);
+        assert_eq!(fl.age(), 1_000.0);
+        let direct = FutureLifetime::new(&w, 1_000.0);
+        assert!(approx_eq(fl.cdf(250.0), direct.cdf(250.0), 1e-14, 0.0));
+    }
+
+    #[test]
+    fn survival_integral_closed_forms_match_quadrature() {
+        // Every family's closed form must agree with brute-force
+        // integration of its conditional survival.
+        let w = Weibull::paper_exemplar();
+        let w2 = Weibull::new(2.2, 800.0).unwrap();
+        let e = Exponential::new(0.003).unwrap();
+        let h = HyperExponential::new(&[(0.7, 1.0 / 300.0), (0.3, 1.0 / 30_000.0)]).unwrap();
+        let models: [&dyn crate::AvailabilityModel; 4] = [&w, &w2, &e, &h];
+        for (mi, m) in models.iter().enumerate() {
+            for &age in &[0.0, 50.0, 2_000.0, 40_000.0] {
+                for &a in &[5.0, 160.0, 4_000.0, 60_000.0] {
+                    let closed = m.conditional_survival_integral(age, a);
+                    let brute = chs_numerics::quadrature::adaptive_simpson(
+                        |x| m.conditional_survival(age, x),
+                        0.0,
+                        a,
+                        1e-10 * a,
+                    )
+                    .unwrap();
+                    assert!(
+                        (closed - brute).abs() < 1e-6 * brute.max(1.0),
+                        "model {mi} age={age} a={a}: closed {closed} vs brute {brute}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn survival_integral_extreme_age_stable() {
+        // Deep-tail ages: the closed forms (or their fallbacks) must stay
+        // finite, positive, and bounded by a.
+        let w = Weibull::paper_exemplar();
+        let h = HyperExponential::new(&[(0.9, 0.01), (0.1, 1e-5)]).unwrap();
+        for &age in &[1e6, 1e8, 1e10] {
+            for m in [&w as &dyn crate::AvailabilityModel, &h] {
+                let v = m.conditional_survival_integral(age, 1_000.0);
+                assert!(
+                    v.is_finite() && (0.0..=1_000.0).contains(&v),
+                    "age={age} v={v}"
+                );
+                // At these ages both distributions are dominated by their
+                // flattest regime, so survival over 1000 s is near-certain.
+                assert!(v > 500.0, "age={age} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_mean_zero_cases() {
+        let w = Weibull::paper_exemplar();
+        let fl = FutureLifetime::new(&w, 10.0);
+        assert_eq!(fl.truncated_mean(0.0), 0.0);
+        assert_eq!(fl.truncated_mean(-5.0), 0.0);
+    }
+}

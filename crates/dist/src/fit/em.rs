@@ -1,0 +1,383 @@
+//! Expectation–maximization for k-phase hyperexponentials.
+//!
+//! The paper uses the EMPht package (EM for general phase-type
+//! distributions) to fit its 2- and 3-phase hyperexponentials. A k-phase
+//! hyperexponential is exactly the mixture-of-exponentials sub-family of
+//! phase type, for which EM has a clean closed-form M-step:
+//!
+//! * E-step: responsibilities
+//!   `γᵢⱼ = pⱼ λⱼ e^{−λⱼ xᵢ} / Σₖ pₖ λₖ e^{−λₖ xᵢ}`
+//! * M-step: `pⱼ = (1/n) Σᵢ γᵢⱼ`, `λⱼ = Σᵢ γᵢⱼ / Σᵢ γᵢⱼ xᵢ`
+//!
+//! Each iteration is guaranteed not to decrease the likelihood. EM on
+//! mixtures is sensitive to initialization, so we run a deterministic
+//! multi-start: quantile splits of the sorted data at several split
+//! geometries, keeping the highest-likelihood result. If phases collapse
+//! (equal rates or vanishing weight) the result degrades gracefully to
+//! fewer effective phases and is repaired by nudging rates apart.
+
+use super::validate_data;
+use crate::{DistError, HyperExponential, Result};
+
+/// Tunables for the EM fit.
+#[derive(Debug, Clone)]
+pub struct EmOptions {
+    /// Maximum EM iterations per start.
+    pub max_iterations: usize,
+    /// Convergence threshold on the per-sample log-likelihood change.
+    pub tolerance: f64,
+    /// Floor for mixture weights; phases below it are reseeded.
+    pub weight_floor: f64,
+}
+
+impl Default for EmOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 2_000,
+            tolerance: 1e-10,
+            weight_floor: 1e-6,
+        }
+    }
+}
+
+/// Diagnostics from one EM fit.
+#[derive(Debug, Clone)]
+pub struct EmReport {
+    /// The fitted distribution.
+    pub model: HyperExponential,
+    /// Final log-likelihood over the training data.
+    pub log_likelihood: f64,
+    /// EM iterations consumed by the winning start.
+    pub iterations: usize,
+    /// Number of initializations attempted.
+    pub starts: usize,
+}
+
+/// Fit a `phases`-phase hyperexponential by EM with deterministic
+/// multi-start (the EMPht substitute).
+///
+/// # Errors
+/// * [`DistError::InvalidData`] — sample shorter than `2·phases` or
+///   containing non-positive values, or `phases == 0`.
+pub fn fit_hyperexponential(data: &[f64], phases: usize, options: &EmOptions) -> Result<EmReport> {
+    if phases == 0 {
+        return Err(DistError::InvalidData {
+            message: "phases must be >= 1",
+        });
+    }
+    validate_data(data, (2 * phases).max(super::MIN_SAMPLE))?;
+
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+
+    let starts = initial_guesses(&sorted, phases);
+    let n_starts = starts.len();
+    let mut best: Option<(Vec<f64>, Vec<f64>, f64, usize)> = None;
+    for (weights, rates) in starts {
+        if let Some((w, r, ll, iters)) = em_run(data, weights, rates, options) {
+            let better = match &best {
+                None => true,
+                Some((_, _, best_ll, _)) => ll > *best_ll,
+            };
+            if better {
+                best = Some((w, r, ll, iters));
+            }
+        }
+    }
+    let (weights, rates, ll, iterations) = best.ok_or(DistError::NoConvergence {
+        routine: "fit_hyperexponential",
+        iterations: options.max_iterations,
+    })?;
+
+    let phases_vec: Vec<(f64, f64)> = weights.into_iter().zip(rates).collect();
+    let model = build_repaired(&phases_vec)?;
+    Ok(EmReport {
+        model,
+        log_likelihood: ll,
+        iterations,
+        starts: n_starts,
+    })
+}
+
+/// Deterministic initializations: quantile splits of the sorted data with
+/// several boundary geometries (even, head-heavy, tail-heavy). Each group
+/// seeds one phase with `λ = 1/mean(group)`, `p = |group|/n`.
+fn initial_guesses(sorted: &[f64], k: usize) -> Vec<(Vec<f64>, Vec<f64>)> {
+    let n = sorted.len();
+    if k == 1 {
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        return vec![(vec![1.0], vec![1.0 / mean])];
+    }
+    // Split geometries: fractions of the sorted data per phase.
+    let geometries: Vec<Vec<f64>> = vec![
+        vec![1.0 / k as f64; k],     // even split
+        geometric_fractions(k, 2.0), // head-heavy (short durations dominate)
+        geometric_fractions(k, 0.5), // tail-heavy
+    ];
+    let mut out = Vec::new();
+    for fracs in geometries {
+        let mut weights = Vec::with_capacity(k);
+        let mut rates = Vec::with_capacity(k);
+        let mut start = 0usize;
+        let mut ok = true;
+        for (j, f) in fracs.iter().enumerate() {
+            let end = if j + 1 == k {
+                n
+            } else {
+                (start + (f * n as f64).ceil() as usize).min(n)
+            };
+            if end <= start {
+                ok = false;
+                break;
+            }
+            let group = &sorted[start..end];
+            let mean = group.iter().sum::<f64>() / group.len() as f64;
+            if mean <= 0.0 {
+                ok = false;
+                break;
+            }
+            weights.push(group.len() as f64 / n as f64);
+            rates.push(1.0 / mean);
+            start = end;
+        }
+        if ok && rates.len() == k && start == n {
+            // Nudge identical rates apart (possible with ties in the data).
+            for i in 1..k {
+                if (rates[i] - rates[i - 1]).abs() < 1e-9 * rates[i].abs() {
+                    rates[i] *= 1.5;
+                }
+            }
+            out.push((weights, rates));
+        }
+    }
+    if out.is_empty() {
+        // Fallback: single global mean split by powers of 4.
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let weights = vec![1.0 / k as f64; k];
+        let rates = (0..k).map(|j| 4f64.powi(j as i32) / mean).collect();
+        out.push((weights, rates));
+    }
+    out
+}
+
+/// Fractions `∝ r^j`, normalized.
+fn geometric_fractions(k: usize, r: f64) -> Vec<f64> {
+    let raw: Vec<f64> = (0..k).map(|j| r.powi(j as i32)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|x| x / total).collect()
+}
+
+/// One EM run; returns `(weights, rates, loglik, iterations)` or `None`
+/// when the run degenerates beyond repair.
+fn em_run(
+    data: &[f64],
+    mut weights: Vec<f64>,
+    mut rates: Vec<f64>,
+    options: &EmOptions,
+) -> Option<(Vec<f64>, Vec<f64>, f64, usize)> {
+    let n = data.len();
+    let k = rates.len();
+    let mut resp = vec![0.0f64; k];
+    let mut sum_resp = vec![0.0f64; k];
+    let mut sum_resp_x = vec![0.0f64; k];
+    let mut prev_ll = f64::NEG_INFINITY;
+    for iter in 0..options.max_iterations {
+        sum_resp.iter_mut().for_each(|v| *v = 0.0);
+        sum_resp_x.iter_mut().for_each(|v| *v = 0.0);
+        let mut ll = 0.0;
+        for &x in data {
+            // E-step in a numerically shifted domain: densities of widely
+            // separated rates underflow otherwise.
+            let mut max_log = f64::NEG_INFINITY;
+            for j in 0..k {
+                let lw = weights[j].ln() + rates[j].ln() - rates[j] * x;
+                resp[j] = lw;
+                if lw > max_log {
+                    max_log = lw;
+                }
+            }
+            let mut denom = 0.0;
+            for r in resp.iter_mut() {
+                *r = (*r - max_log).exp();
+                denom += *r;
+            }
+            if denom <= 0.0 || !denom.is_finite() {
+                return None;
+            }
+            ll += max_log + denom.ln();
+            for j in 0..k {
+                let g = resp[j] / denom;
+                sum_resp[j] += g;
+                sum_resp_x[j] += g * x;
+            }
+        }
+        // M-step.
+        for j in 0..k {
+            if sum_resp[j] < options.weight_floor * n as f64 || sum_resp_x[j] <= 0.0 {
+                // Phase starved of data: reseed it at a rate off to the
+                // side of the current fastest phase.
+                let fastest = rates.iter().cloned().fold(0.0f64, f64::max);
+                rates[j] = fastest * 3.0;
+                weights[j] = 1.0 / n as f64;
+            } else {
+                weights[j] = sum_resp[j] / n as f64;
+                rates[j] = sum_resp[j] / sum_resp_x[j];
+            }
+        }
+        // Renormalize weights (reseeding can perturb the sum).
+        let total: f64 = weights.iter().sum();
+        weights.iter_mut().for_each(|w| *w /= total);
+
+        if (ll - prev_ll).abs() < options.tolerance * n as f64 {
+            return Some((weights, rates, ll, iter + 1));
+        }
+        prev_ll = ll;
+    }
+    Some((weights, rates, prev_ll, options.max_iterations))
+}
+
+/// Build a [`HyperExponential`], merging near-identical phases so the
+/// pairwise-distinct-rates invariant holds.
+fn build_repaired(phases: &[(f64, f64)]) -> Result<HyperExponential> {
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(phases.len());
+    'outer: for &(p, l) in phases {
+        for slot in merged.iter_mut() {
+            if (slot.1 - l).abs() <= 1e-9 * slot.1.abs() {
+                slot.0 += p; // combine weights of indistinguishable phases
+                continue 'outer;
+            }
+        }
+        merged.push((p, l));
+    }
+    let total: f64 = merged.iter().map(|(p, _)| p).sum();
+    for slot in merged.iter_mut() {
+        slot.0 /= total;
+    }
+    HyperExponential::new(&merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AvailabilityModel;
+    use chs_numerics::approx_eq;
+    use rand::SeedableRng;
+
+    fn sample(truth: &HyperExponential, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| truth.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn recovers_well_separated_mixture() {
+        let truth = HyperExponential::new(&[(0.7, 1.0 / 300.0), (0.3, 1.0 / 30_000.0)]).unwrap();
+        let data = sample(&truth, 20_000, 4);
+        let report = fit_hyperexponential(&data, 2, &EmOptions::default()).unwrap();
+        let m = report.model;
+        // Identify the fast phase (largest rate).
+        let (fast_idx, _) = m
+            .rates()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let slow_idx = 1 - fast_idx;
+        assert!(
+            approx_eq(m.rates()[fast_idx], 1.0 / 300.0, 0.10, 0.0),
+            "fast rate {}",
+            m.rates()[fast_idx]
+        );
+        assert!(
+            approx_eq(m.rates()[slow_idx], 1.0 / 30_000.0, 0.10, 0.0),
+            "slow rate {}",
+            m.rates()[slow_idx]
+        );
+        assert!(
+            approx_eq(m.weights()[fast_idx], 0.7, 0.10, 0.0),
+            "fast weight {}",
+            m.weights()[fast_idx]
+        );
+    }
+
+    #[test]
+    fn likelihood_never_below_single_exponential() {
+        // A k≥2 mixture strictly contains the exponential family, so the EM
+        // optimum cannot be worse than the exponential MLE.
+        let truth = crate::Weibull::paper_exemplar();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(6);
+        let data: Vec<f64> = (0..2_000).map(|_| truth.sample(&mut rng)).collect();
+        let exp_fit = crate::fit::fit_exponential(&data).unwrap();
+        let exp_ll = exp_fit.log_likelihood(&data);
+        for k in [2usize, 3] {
+            let report = fit_hyperexponential(&data, k, &EmOptions::default()).unwrap();
+            assert!(
+                report.log_likelihood >= exp_ll - 1e-6,
+                "k={k}: EM ll {} < exp ll {exp_ll}",
+                report.log_likelihood
+            );
+        }
+    }
+
+    #[test]
+    fn three_phase_beats_or_ties_two_phase() {
+        let truth = crate::Weibull::paper_exemplar();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(16);
+        let data: Vec<f64> = (0..3_000).map(|_| truth.sample(&mut rng)).collect();
+        let r2 = fit_hyperexponential(&data, 2, &EmOptions::default()).unwrap();
+        let r3 = fit_hyperexponential(&data, 3, &EmOptions::default()).unwrap();
+        assert!(
+            r3.log_likelihood >= r2.log_likelihood - 1e-3,
+            "3-phase {} < 2-phase {}",
+            r3.log_likelihood,
+            r2.log_likelihood
+        );
+    }
+
+    #[test]
+    fn em_monotone_likelihood_via_report() {
+        // The winning start's final likelihood must equal the model's
+        // likelihood over the data (internal consistency).
+        let truth = HyperExponential::new(&[(0.5, 0.01), (0.5, 0.0001)]).unwrap();
+        let data = sample(&truth, 5_000, 99);
+        let report = fit_hyperexponential(&data, 2, &EmOptions::default()).unwrap();
+        let recomputed = report.model.log_likelihood(&data);
+        assert!(
+            approx_eq(report.log_likelihood, recomputed, 1e-6, 1e-3),
+            "report {} recomputed {recomputed}",
+            report.log_likelihood
+        );
+    }
+
+    #[test]
+    fn exponential_data_collapses_gracefully() {
+        // Fitting k=2 to pure exponential data: phases may merge; the
+        // resulting model must still be valid and close in mean.
+        let truth = crate::Exponential::from_mean(1_000.0).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        let data: Vec<f64> = (0..5_000).map(|_| truth.sample(&mut rng)).collect();
+        let report = fit_hyperexponential(&data, 2, &EmOptions::default()).unwrap();
+        assert!(
+            approx_eq(report.model.mean(), 1_000.0, 0.08, 0.0),
+            "mean {}",
+            report.model.mean()
+        );
+    }
+
+    #[test]
+    fn small_sample_rules() {
+        assert!(fit_hyperexponential(&[1.0, 2.0, 3.0], 2, &EmOptions::default()).is_err());
+        assert!(fit_hyperexponential(&[1.0, 2.0], 0, &EmOptions::default()).is_err());
+        // 25-sample training (the paper's regime) must work for k = 2, 3.
+        let truth = HyperExponential::new(&[(0.6, 1.0 / 200.0), (0.4, 1.0 / 20_000.0)]).unwrap();
+        let data = sample(&truth, 25, 31);
+        assert!(fit_hyperexponential(&data, 2, &EmOptions::default()).is_ok());
+        assert!(fit_hyperexponential(&data, 3, &EmOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn single_phase_em_is_exponential_mle() {
+        let data = [100.0, 300.0, 500.0, 700.0];
+        let report = fit_hyperexponential(&data, 1, &EmOptions::default()).unwrap();
+        assert!(approx_eq(report.model.rates()[0], 1.0 / 400.0, 1e-9, 0.0));
+    }
+}

@@ -1,0 +1,69 @@
+//! Exponential maximum-likelihood fit.
+
+use super::validate_data;
+use crate::{Exponential, Result};
+
+/// Closed-form MLE for the exponential: `λ̂ = n / Σ xᵢ`.
+///
+/// This is exactly what Matlab's `expfit` computes; the paper uses it for
+/// every exponential model in §5.
+pub fn fit_exponential(data: &[f64]) -> Result<Exponential> {
+    validate_data(data, super::MIN_SAMPLE)?;
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    Exponential::from_mean(mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AvailabilityModel;
+    use chs_numerics::approx_eq;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_known_rate() {
+        let truth = Exponential::new(1.0 / 3_600.0).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let data: Vec<f64> = (0..50_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = fit_exponential(&data).unwrap();
+        assert!(approx_eq(fit.lambda(), truth.lambda(), 0.02, 0.0));
+    }
+
+    #[test]
+    fn mle_is_sample_mean_inverse() {
+        let data = [100.0, 200.0, 300.0];
+        let fit = fit_exponential(&data).unwrap();
+        assert!(approx_eq(fit.lambda(), 1.0 / 200.0, 1e-14, 0.0));
+    }
+
+    #[test]
+    fn mle_maximizes_likelihood() {
+        // Perturbing λ in either direction must not increase the log-likelihood.
+        let data = [50.0, 120.0, 3_000.0, 640.0, 90.0, 10_000.0];
+        let fit = fit_exponential(&data).unwrap();
+        let best = fit.log_likelihood(&data);
+        for &factor in &[0.8, 0.95, 1.05, 1.25] {
+            let alt = Exponential::new(fit.lambda() * factor).unwrap();
+            assert!(alt.log_likelihood(&data) <= best + 1e-9, "factor={factor}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_data() {
+        assert!(fit_exponential(&[]).is_err());
+        assert!(fit_exponential(&[5.0]).is_err());
+        assert!(fit_exponential(&[5.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn paper_training_size_25_works() {
+        // The paper fits on the first 25 durations of each trace.
+        let truth = Exponential::from_mean(5_000.0).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let data: Vec<f64> = (0..25).map(|_| truth.sample(&mut rng)).collect();
+        let fit = fit_exponential(&data).unwrap();
+        // With n = 25 the estimator is noisy but must land within ~3σ.
+        let ratio = fit.mean() / 5_000.0;
+        assert!(ratio > 0.4 && ratio < 2.5, "ratio={ratio}");
+    }
+}

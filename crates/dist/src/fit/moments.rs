@@ -1,0 +1,123 @@
+//! Two-moment matching for 2-phase hyperexponentials — the classical
+//! closed-form alternative to EM.
+//!
+//! Queueing practice often fits an `H₂` by matching the sample mean and
+//! squared coefficient of variation with the *balanced-means* convention
+//! (`p₁/λ₁ = p₂/λ₂`), which pins down all three parameters in closed
+//! form. It is instantaneous but ignores everything beyond the second
+//! moment; the paper's EMPht-style EM uses the whole sample. This module
+//! provides the moment fit both as a fast fallback and as the seed for
+//! one extra EM start, and the tests quantify what EM buys over it.
+
+use super::validate_data;
+use crate::{DistError, HyperExponential, Result};
+
+/// Fit a 2-phase hyperexponential by matching the sample mean and squared
+/// coefficient of variation (`c² > 1` required) under the balanced-means
+/// convention.
+///
+/// With `c²` the squared CV and `m` the mean:
+///
+/// ```text
+/// p₁  = (1 + √((c²−1)/(c²+1))) / 2,   p₂ = 1 − p₁
+/// λ₁  = 2 p₁ / m,                     λ₂ = 2 p₂ / m
+/// ```
+///
+/// # Errors
+/// * [`DistError::InvalidData`] when the sample's CV ≤ 1 (an `H₂` cannot
+///   represent sub-exponential variability).
+pub fn fit_hyperexp2_moments(data: &[f64]) -> Result<HyperExponential> {
+    validate_data(data, super::MIN_SAMPLE)?;
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    let cv2 = var / (mean * mean);
+    if cv2 <= 1.0 + 1e-9 {
+        return Err(DistError::InvalidData {
+            message: "sample CV <= 1: a hyperexponential cannot match these moments",
+        });
+    }
+    let p1 = 0.5 * (1.0 + ((cv2 - 1.0) / (cv2 + 1.0)).sqrt());
+    let p2 = 1.0 - p1;
+    let l1 = 2.0 * p1 / mean;
+    let l2 = 2.0 * p2 / mean;
+    HyperExponential::new(&[(p1, l1), (p2, l2)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::{fit_hyperexponential, EmOptions};
+    use crate::AvailabilityModel;
+    use chs_numerics::approx_eq;
+    use rand::SeedableRng;
+
+    fn heavy_sample(n: usize, seed: u64) -> Vec<f64> {
+        let truth = crate::Weibull::paper_exemplar();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| truth.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn matches_first_two_moments_exactly() {
+        let data = heavy_sample(5_000, 1);
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        let fit = fit_hyperexp2_moments(&data).unwrap();
+        assert!(
+            approx_eq(fit.mean(), mean, 1e-9, 1e-9),
+            "mean {}",
+            fit.mean()
+        );
+        // Hyperexponential variance: 2 Σ p/λ² − mean².
+        let m2: f64 = fit
+            .weights()
+            .iter()
+            .zip(fit.rates())
+            .map(|(p, l)| 2.0 * p / (l * l))
+            .sum();
+        let fit_var = m2 - fit.mean() * fit.mean();
+        assert!(
+            approx_eq(fit_var, var, 1e-6, 1e-6),
+            "var {fit_var} vs {var}"
+        );
+    }
+
+    #[test]
+    fn rejects_low_variability() {
+        // Near-deterministic data: CV « 1.
+        let data: Vec<f64> = (0..100).map(|i| 100.0 + (i % 3) as f64).collect();
+        assert!(fit_hyperexp2_moments(&data).is_err());
+        // Exponential-ish data is borderline; tight uniform also rejected.
+        assert!(fit_hyperexp2_moments(&[1.0, 1.1, 0.9, 1.05, 0.95]).is_err());
+    }
+
+    #[test]
+    fn em_likelihood_beats_or_ties_moment_fit() {
+        // EM maximizes likelihood; the moment fit cannot beat it on the
+        // training data. This quantifies "what EM buys".
+        let data = heavy_sample(2_000, 2);
+        let moment = fit_hyperexp2_moments(&data).unwrap();
+        let em = fit_hyperexponential(&data, 2, &EmOptions::default()).unwrap();
+        let ll_moment = moment.log_likelihood(&data);
+        assert!(
+            em.log_likelihood >= ll_moment - 1e-6,
+            "EM {} !>= moments {}",
+            em.log_likelihood,
+            ll_moment
+        );
+    }
+
+    #[test]
+    fn balanced_means_convention_holds() {
+        let data = heavy_sample(1_000, 4);
+        let fit = fit_hyperexp2_moments(&data).unwrap();
+        let ratio0 = fit.weights()[0] / fit.rates()[0];
+        let ratio1 = fit.weights()[1] / fit.rates()[1];
+        assert!(
+            approx_eq(ratio0, ratio1, 1e-9, 1e-12),
+            "{ratio0} vs {ratio1}"
+        );
+    }
+}

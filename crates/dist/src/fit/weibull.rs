@@ -1,0 +1,198 @@
+//! Weibull maximum-likelihood fit via the profile likelihood.
+//!
+//! Concentrating the likelihood over the scale gives a single nonlinear
+//! equation in the shape `α`:
+//!
+//! ```text
+//! g(α) = Σ xᵢ^α ln xᵢ / Σ xᵢ^α − 1/α − (1/n) Σ ln xᵢ = 0
+//! ```
+//!
+//! `g` is strictly increasing on `(0, ∞)` for non-degenerate samples, so a
+//! bracket plus safeguarded Newton converges fast and reliably even for
+//! the heavy-tailed shapes (α ≈ 0.4) availability traces produce. The
+//! scale then follows as `β̂ = (Σ xᵢ^α̂ / n)^{1/α̂}`.
+
+use super::validate_data;
+use crate::{DistError, Result, Weibull};
+use chs_numerics::roots::newton_safeguarded;
+
+/// Maximum-likelihood Weibull fit (the Matlab `wblfit` equivalent).
+///
+/// # Errors
+/// * [`DistError::InvalidData`] — unusable sample, or all observations
+///   identical (the MLE shape diverges; availability traces never do this
+///   but synthetic tests might).
+/// * [`DistError::NoConvergence`] — the shape equation could not be
+///   bracketed in `[10⁻³, 10³]`.
+pub fn fit_weibull(data: &[f64]) -> Result<Weibull> {
+    validate_data(data, super::MIN_SAMPLE)?;
+    let n = data.len() as f64;
+    let mean_ln: f64 = data.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let spread = data
+        .iter()
+        .map(|x| (x.ln() - mean_ln).abs())
+        .fold(0.0f64, f64::max);
+    if spread < 1e-12 {
+        return Err(DistError::InvalidData {
+            message: "all observations identical: Weibull MLE shape diverges",
+        });
+    }
+
+    // Numerically robust evaluation of g and g': work with u = ln x and
+    // shift by max(u) so the exponentials never overflow for large α.
+    let lns: Vec<f64> = data.iter().map(|x| x.ln()).collect();
+    let max_ln = lns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let g_and_dg = |alpha: f64| -> (f64, f64) {
+        let mut s0 = 0.0; // Σ e^{α(u−m)}
+        let mut s1 = 0.0; // Σ u e^{α(u−m)}
+        let mut s2 = 0.0; // Σ u² e^{α(u−m)}
+        for &u in &lns {
+            let w = (alpha * (u - max_ln)).exp();
+            s0 += w;
+            s1 += u * w;
+            s2 += u * u * w;
+        }
+        let ratio = s1 / s0;
+        let g = ratio - 1.0 / alpha - mean_ln;
+        // d/dα [Σu e^{αu}/Σe^{αu}] = (s2 s0 − s1²)/s0² ≥ 0 (variance form)
+        let dg = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (alpha * alpha);
+        (g, dg)
+    };
+
+    // Bracket the root: g is increasing; scan outward from 1.
+    let (mut lo, mut hi) = (1e-3, 1.0);
+    let mut glo = g_and_dg(lo).0;
+    let mut ghi = g_and_dg(hi).0;
+    let mut expansions = 0;
+    while glo.signum() == ghi.signum() {
+        expansions += 1;
+        if expansions > 60 {
+            return Err(DistError::NoConvergence {
+                routine: "fit_weibull bracket",
+                iterations: 60,
+            });
+        }
+        if ghi < 0.0 {
+            hi *= 2.0;
+            ghi = g_and_dg(hi).0;
+        } else {
+            lo /= 2.0;
+            glo = g_and_dg(lo).0;
+            if lo < 1e-9 {
+                return Err(DistError::NoConvergence {
+                    routine: "fit_weibull bracket (shape -> 0)",
+                    iterations: expansions,
+                });
+            }
+        }
+    }
+    let alpha = newton_safeguarded(g_and_dg, lo, hi, 1e-12)?;
+
+    // β̂ = (Σ x^α / n)^{1/α}, computed in the same shifted log domain.
+    let s0: f64 = lns.iter().map(|&u| (alpha * (u - max_ln)).exp()).sum();
+    let ln_beta = max_ln + (s0 / n).ln() / alpha;
+    Weibull::new(alpha, ln_beta.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AvailabilityModel;
+    use chs_numerics::approx_eq;
+    use rand::SeedableRng;
+
+    fn sample(truth: &Weibull, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| truth.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn recovers_paper_exemplar() {
+        // The paper's chosen machine: shape 0.43, scale 3409.
+        let truth = Weibull::paper_exemplar();
+        let fit = fit_weibull(&sample(&truth, 5_000, 2)).unwrap();
+        assert!(
+            approx_eq(fit.shape(), 0.43, 0.05, 0.0),
+            "shape={}",
+            fit.shape()
+        );
+        assert!(
+            approx_eq(fit.scale(), 3_409.0, 0.10, 0.0),
+            "scale={}",
+            fit.scale()
+        );
+    }
+
+    #[test]
+    fn recovers_light_tail() {
+        let truth = Weibull::new(2.5, 120.0).unwrap();
+        let fit = fit_weibull(&sample(&truth, 20_000, 5)).unwrap();
+        assert!(approx_eq(fit.shape(), 2.5, 0.03, 0.0));
+        assert!(approx_eq(fit.scale(), 120.0, 0.03, 0.0));
+    }
+
+    #[test]
+    fn exponential_data_yields_shape_near_one() {
+        let truth = Weibull::new(1.0, 900.0).unwrap();
+        let fit = fit_weibull(&sample(&truth, 20_000, 8)).unwrap();
+        assert!(
+            approx_eq(fit.shape(), 1.0, 0.03, 0.0),
+            "shape={}",
+            fit.shape()
+        );
+    }
+
+    #[test]
+    fn mle_maximizes_likelihood() {
+        let data = sample(&Weibull::new(0.6, 2_000.0).unwrap(), 500, 13);
+        let fit = fit_weibull(&data).unwrap();
+        let best = fit.log_likelihood(&data);
+        for &(ds, dc) in &[(0.9, 1.0), (1.1, 1.0), (1.0, 0.9), (1.0, 1.1), (1.05, 0.95)] {
+            let alt = Weibull::new(fit.shape() * ds, fit.scale() * dc).unwrap();
+            assert!(alt.log_likelihood(&data) <= best + 1e-7, "({ds},{dc})");
+        }
+    }
+
+    #[test]
+    fn identical_observations_rejected() {
+        assert!(fit_weibull(&[100.0; 30]).is_err());
+    }
+
+    #[test]
+    fn small_paper_training_set() {
+        // First-25 fits must succeed and be sane (paper's Table 2 shows
+        // 25-sample fits barely degrade schedule quality).
+        let truth = Weibull::paper_exemplar();
+        let fit = fit_weibull(&sample(&truth, 25, 21)).unwrap();
+        assert!(
+            fit.shape() > 0.15 && fit.shape() < 1.2,
+            "shape={}",
+            fit.shape()
+        );
+        assert!(
+            fit.scale() > 300.0 && fit.scale() < 30_000.0,
+            "scale={}",
+            fit.scale()
+        );
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // Scaling the data by c scales β̂ by c and leaves α̂ unchanged.
+        let data = sample(&Weibull::new(0.8, 1_000.0).unwrap(), 300, 34);
+        let fit1 = fit_weibull(&data).unwrap();
+        let scaled: Vec<f64> = data.iter().map(|x| x * 7.0).collect();
+        let fit2 = fit_weibull(&scaled).unwrap();
+        assert!(approx_eq(fit1.shape(), fit2.shape(), 1e-6, 1e-8));
+        assert!(approx_eq(fit1.scale() * 7.0, fit2.scale(), 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn huge_magnitudes_do_not_overflow() {
+        // Shifted-log evaluation must survive second-scale and year-scale mixes.
+        let data = [1.0, 10.0, 1e7, 3.15e7, 2.0, 86_400.0, 5.0, 3_600.0];
+        let fit = fit_weibull(&data).unwrap();
+        assert!(fit.shape().is_finite() && fit.scale().is_finite());
+        assert!(fit.shape() > 0.0 && fit.scale() > 0.0);
+    }
+}

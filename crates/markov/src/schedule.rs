@@ -1,0 +1,222 @@
+//! Aperiodic checkpoint schedules (paper §3.5, final paragraphs).
+//!
+//! For a memoryless (exponential) model a single `T_opt` repeats forever.
+//! For Weibull/hyperexponential models the optimal interval depends on the
+//! machine's age, so the schedule is the sequence `T_opt(0), T_opt(1), …`
+//! where `T_opt(i)` is computed at the age the machine will have reached
+//! at the start of interval `i` (initial age + all previous work and
+//! checkpoint phases). The schedule remains valid until the next failure,
+//! after which a new schedule is computed from age ≈ 0 (plus recovery).
+
+use crate::vaidya::{OptimalInterval, VaidyaModel};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// One interval of a computed schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// Machine age (seconds since its last failure) when this interval's
+    /// work phase starts.
+    pub start_age: f64,
+    /// The interval's optimization result (`T_opt`, Γ, efficiency).
+    pub interval: OptimalInterval,
+}
+
+/// A checkpoint schedule: the sequence of work intervals a job should use
+/// on a machine, starting from a known age.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    entries: Vec<ScheduleEntry>,
+    initial_age: f64,
+    checkpoint_cost: f64,
+}
+
+impl Schedule {
+    /// Compute a schedule of up to `max_intervals` intervals, stopping
+    /// early once the cumulative planned wall-clock (work + checkpoints)
+    /// exceeds `horizon` seconds.
+    ///
+    /// `initial_age` is the paper's `T_elapsed`: how long the machine has
+    /// already been available when the job is placed on it.
+    pub fn compute(
+        model: &VaidyaModel<'_>,
+        initial_age: f64,
+        horizon: f64,
+        max_intervals: usize,
+    ) -> Result<Self> {
+        let initial_age = initial_age.max(0.0);
+        let c = model.costs().checkpoint;
+        let mut entries = Vec::new();
+        let mut age = initial_age;
+        let mut planned = 0.0;
+        while entries.len() < max_intervals && planned < horizon {
+            let interval = model.optimal_interval(age)?;
+            entries.push(ScheduleEntry {
+                start_age: age,
+                interval,
+            });
+            let step = interval.work_seconds + c;
+            age += step;
+            planned += step;
+        }
+        Ok(Self {
+            entries,
+            initial_age,
+            checkpoint_cost: c,
+        })
+    }
+
+    /// The schedule's intervals in execution order.
+    pub fn entries(&self) -> &[ScheduleEntry] {
+        &self.entries
+    }
+
+    /// The machine age at job placement (`T_elapsed`).
+    pub fn initial_age(&self) -> f64 {
+        self.initial_age
+    }
+
+    /// Number of planned intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the schedule is empty (zero-interval horizon).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total planned work seconds across all intervals.
+    pub fn total_work(&self) -> f64 {
+        self.entries.iter().map(|e| e.interval.work_seconds).sum()
+    }
+
+    /// Total planned wall-clock (work + checkpoint per interval).
+    pub fn total_wall_clock(&self) -> f64 {
+        self.total_work() + self.checkpoint_cost * self.entries.len() as f64
+    }
+
+    /// Predicted efficiency over the whole schedule: planned work divided
+    /// by the sum of per-interval expected completion times Γ.
+    pub fn predicted_efficiency(&self) -> f64 {
+        let work = self.total_work();
+        let gamma: f64 = self.entries.iter().map(|e| e.interval.gamma).sum();
+        if gamma > 0.0 {
+            work / gamma
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the schedule is (numerically) periodic — true for
+    /// memoryless models, false for heavy-tailed ones.
+    pub fn is_periodic(&self, rel_tol: f64) -> bool {
+        match self.entries.split_first() {
+            None => true,
+            Some((first, rest)) => {
+                let t0 = first.interval.work_seconds;
+                rest.iter()
+                    .all(|e| (e.interval.work_seconds - t0).abs() <= rel_tol * t0.max(1e-30))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CheckpointCosts;
+    use chs_dist::{Exponential, Weibull};
+
+    #[test]
+    fn exponential_schedule_is_periodic() {
+        let d = Exponential::from_mean(3_600.0).unwrap();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(110.0)).unwrap();
+        let s = Schedule::compute(&m, 0.0, 86_400.0, 64).unwrap();
+        assert!(s.len() > 3);
+        assert!(
+            s.is_periodic(1e-3),
+            "exponential schedule should be periodic"
+        );
+    }
+
+    #[test]
+    fn weibull_schedule_is_aperiodic_and_growing() {
+        let d = Weibull::paper_exemplar();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(110.0)).unwrap();
+        let s = Schedule::compute(&m, 0.0, 250_000.0, 32).unwrap();
+        assert!(s.len() >= 4, "len={}", s.len());
+        assert!(!s.is_periodic(1e-3));
+        // Decreasing hazard → strictly growing work intervals once the
+        // machine has demonstrated survival. (The very first interval,
+        // computed at age 0 from the unconditional distribution, sits
+        // outside the monotone regime: with most failure mass at tiny
+        // lifetimes the optimizer partially writes off the attempt.)
+        let works: Vec<f64> = s
+            .entries()
+            .iter()
+            .map(|e| e.interval.work_seconds)
+            .collect();
+        for w in works[1..].windows(2) {
+            assert!(w[1] > w[0], "aged intervals should grow: {works:?}");
+        }
+    }
+
+    #[test]
+    fn start_ages_accumulate_work_plus_checkpoint() {
+        let d = Weibull::paper_exemplar();
+        let c = 200.0;
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(c)).unwrap();
+        let s = Schedule::compute(&m, 500.0, 100_000.0, 16).unwrap();
+        assert_eq!(s.initial_age(), 500.0);
+        let e = s.entries();
+        for i in 1..e.len() {
+            let expected = e[i - 1].start_age + e[i - 1].interval.work_seconds + c;
+            assert!(
+                (e[i].start_age - expected).abs() < 1e-9,
+                "age chain broken at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn horizon_limits_schedule() {
+        let d = Exponential::from_mean(10_000.0).unwrap();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(50.0)).unwrap();
+        let s = Schedule::compute(&m, 0.0, 0.0, 100).unwrap();
+        assert!(s.is_empty());
+        let s = Schedule::compute(&m, 0.0, f64::INFINITY, 5).unwrap();
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn totals_consistent() {
+        let d = Exponential::from_mean(5_000.0).unwrap();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(100.0)).unwrap();
+        let s = Schedule::compute(&m, 0.0, 50_000.0, 1_000).unwrap();
+        let by_hand: f64 = s.entries().iter().map(|e| e.interval.work_seconds).sum();
+        assert_eq!(s.total_work(), by_hand);
+        assert!((s.total_wall_clock() - (by_hand + 100.0 * s.len() as f64)).abs() < 1e-9);
+        let eff = s.predicted_efficiency();
+        assert!(eff > 0.0 && eff <= 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = Weibull::paper_exemplar();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(110.0)).unwrap();
+        let s = Schedule::compute(&m, 0.0, 50_000.0, 8).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        // JSON may round the last ulp of f64s; compare structurally.
+        assert_eq!(s.len(), back.len());
+        assert_eq!(s.initial_age(), back.initial_age());
+        for (a, b) in s.entries().iter().zip(back.entries()) {
+            assert!(
+                (a.interval.work_seconds - b.interval.work_seconds).abs()
+                    < 1e-9 * a.interval.work_seconds.max(1.0)
+            );
+            assert!((a.start_age - b.start_age).abs() < 1e-9 * a.start_age.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! The generalized Vaidya checkpoint-interval model and `T_opt` search.
+
+use crate::{MarkovError, Result};
+use chs_dist::{AvailabilityModel, FutureLifetime};
+use serde::{Deserialize, Serialize};
+
+/// Phase costs of the recovery–work–checkpoint cycle, all in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointCosts {
+    /// Checkpoint overhead `C`: the job is stalled while the image moves
+    /// to the checkpoint manager.
+    pub checkpoint: f64,
+    /// Recovery overhead `R`: restoring the last image after a failure.
+    pub recovery: f64,
+    /// Checkpoint latency `L`: time until the image is stable on the
+    /// manager. Sequential non-overlapped checkpointing (the paper's
+    /// setting) means `L = C`.
+    pub latency: f64,
+}
+
+impl CheckpointCosts {
+    /// The paper's setting: `C = R` (measured from the same 500 MB
+    /// transfer path) and `L = C` (no overlap).
+    pub fn symmetric(c: f64) -> Self {
+        Self {
+            checkpoint: c,
+            recovery: c,
+            latency: c,
+        }
+    }
+
+    /// Explicit `C` and `R` with `L = C`.
+    pub fn new(checkpoint: f64, recovery: f64) -> Self {
+        Self {
+            checkpoint,
+            recovery,
+            latency: checkpoint,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("checkpoint", self.checkpoint),
+            ("recovery", self.recovery),
+            ("latency", self.latency),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(MarkovError::InvalidParameter {
+                    parameter: name,
+                    value: v,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The eight transition quantities of the three-state chain for one
+/// candidate work interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalQuantities {
+    /// Probability the machine survives work + checkpoint.
+    pub p01: f64,
+    /// Cost of the success path: `C + T`.
+    pub k01: f64,
+    /// Probability of failure during work or checkpoint.
+    pub p02: f64,
+    /// Expected time until that failure.
+    pub k02: f64,
+    /// Probability a fresh machine survives recovery + work + latency.
+    pub p21: f64,
+    /// Cost of a successful retry: `L + R + T`.
+    pub k21: f64,
+    /// Probability the retry fails too.
+    pub p22: f64,
+    /// Expected time of a failed retry.
+    pub k22: f64,
+}
+
+/// Result of the `T_opt` optimization at a given machine age.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimalInterval {
+    /// The optimal work interval `T_opt` in seconds.
+    pub work_seconds: f64,
+    /// Expected time Γ to complete one interval when using `T_opt`.
+    pub gamma: f64,
+    /// The minimized overhead ratio `Γ/T_opt` (≥ 1).
+    pub overhead_ratio: f64,
+    /// Expected efficiency `T_opt/Γ` (≤ 1); the simulation's
+    /// steady-state utilization converges to this.
+    pub efficiency: f64,
+}
+
+/// Vaidya's model bound to one availability distribution and one set of
+/// phase costs. Borrowing the distribution keeps the optimizer
+/// allocation-free; the schedule layer re-creates views as ages advance.
+pub struct VaidyaModel<'a> {
+    dist: &'a dyn AvailabilityModel,
+    costs: CheckpointCosts,
+    t_min: f64,
+    t_max: f64,
+}
+
+/// Default lower bound on the searched work interval (seconds): below
+/// this, checkpoint overhead swamps all work and Γ/T is astronomically
+/// large anyway.
+pub const DEFAULT_T_MIN: f64 = 1.0;
+
+impl<'a> VaidyaModel<'a> {
+    /// Bind the model to a distribution and costs. The optimizer searches
+    /// `T ∈ [1 s, max(1000·E[X], 100·(C+R+L))]` in log space; use
+    /// [`VaidyaModel::with_bounds`] to override.
+    pub fn new(dist: &'a dyn AvailabilityModel, costs: CheckpointCosts) -> Result<Self> {
+        costs.validate()?;
+        let mean = dist.mean();
+        let span = costs.checkpoint + costs.recovery + costs.latency;
+        let t_max = (1_000.0 * mean).max(100.0 * span).max(1e4);
+        Ok(Self {
+            dist,
+            costs,
+            t_min: DEFAULT_T_MIN,
+            t_max,
+        })
+    }
+
+    /// Override the search bounds for `T` (both must be positive and
+    /// `t_min < t_max`).
+    pub fn with_bounds(mut self, t_min: f64, t_max: f64) -> Result<Self> {
+        if !(t_min.is_finite() && t_min > 0.0) {
+            return Err(MarkovError::InvalidParameter {
+                parameter: "t_min",
+                value: t_min,
+            });
+        }
+        if !(t_max.is_finite() && t_max > t_min) {
+            return Err(MarkovError::InvalidParameter {
+                parameter: "t_max",
+                value: t_max,
+            });
+        }
+        self.t_min = t_min;
+        self.t_max = t_max;
+        Ok(self)
+    }
+
+    /// The phase costs in use.
+    pub fn costs(&self) -> CheckpointCosts {
+        self.costs
+    }
+
+    /// Transition probabilities and expected costs for work interval `t`
+    /// on a machine of age `age`.
+    pub fn quantities(&self, t: f64, age: f64) -> IntervalQuantities {
+        let CheckpointCosts {
+            checkpoint: c,
+            recovery: r,
+            latency: l,
+        } = self.costs;
+        let horizon01 = c + t;
+        let horizon21 = l + r + t;
+
+        let conditioned = FutureLifetime::new(self.dist, age);
+        let p01 = conditioned.survival(horizon01);
+        let p02 = 1.0 - p01;
+        let k02 = if p02 > 0.0 {
+            conditioned.truncated_mean(horizon01)
+        } else {
+            0.0
+        };
+
+        // State 2 entries use the unconditional distribution: a failure
+        // just occurred, so the machine age restarts at zero.
+        let fresh = FutureLifetime::new(self.dist, 0.0);
+        let p21 = fresh.survival(horizon21);
+        let p22 = 1.0 - p21;
+        let k22 = if p22 > 0.0 {
+            fresh.truncated_mean(horizon21)
+        } else {
+            0.0
+        };
+
+        IntervalQuantities {
+            p01,
+            k01: horizon01,
+            p02,
+            k02,
+            p21,
+            k21: horizon21,
+            p22,
+            k22,
+        }
+    }
+
+    /// Expected time Γ to advance from state 0 to state 1 (complete one
+    /// work-plus-checkpoint interval, including any failure/retry loops).
+    ///
+    /// Returns `f64::INFINITY` when a fresh machine cannot survive
+    /// recovery + work + latency with positive probability (`P21 = 0`) —
+    /// the retry loop never terminates.
+    pub fn gamma(&self, t: f64, age: f64) -> f64 {
+        let q = self.quantities(t, age);
+        if q.p02 <= 0.0 {
+            return q.k01;
+        }
+        if q.p21 <= f64::MIN_POSITIVE {
+            return f64::INFINITY;
+        }
+        // E[2→1] = K21 + (P22/P21)·K22  (geometric retry sum)
+        let retry = q.k21 + (q.p22 / q.p21) * q.k22;
+        q.p01 * q.k01 + q.p02 * (q.k02 + retry)
+    }
+
+    /// The overhead ratio `Γ(T)/T` the paper minimizes.
+    pub fn overhead_ratio(&self, t: f64, age: f64) -> f64 {
+        if t <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.gamma(t, age) / t
+    }
+
+    /// Expected efficiency `T/Γ(T)` of running with work interval `t`.
+    pub fn efficiency(&self, t: f64, age: f64) -> f64 {
+        let g = self.gamma(t, age);
+        if g.is_finite() && g > 0.0 {
+            t / g
+        } else {
+            0.0
+        }
+    }
+
+    /// Find `T_opt = argmin Γ(T)/T` for a machine of age `age` by
+    /// golden-section search over `ln T` (the objective spans orders of
+    /// magnitude in `T`; log-space keeps the search well-conditioned, as
+    /// recommended for the Numerical Recipes `golden` routine we mirror).
+    pub fn optimal_interval(&self, age: f64) -> Result<OptimalInterval> {
+        let age = age.max(0.0);
+        let obj = |u: f64| {
+            let r = self.overhead_ratio(u.exp(), age);
+            // Golden section cannot compare infinities; cap at a huge
+            // finite value so the search is pushed away from the region.
+            if r.is_finite() {
+                r
+            } else {
+                1e300
+            }
+        };
+        let lo = self.t_min.ln();
+        let hi = self.t_max.ln();
+        let min = chs_numerics::optimize::minimize_bounded(obj, lo, hi, 1e-9)?;
+        let t_opt = min.x.exp();
+        let gamma = self.gamma(t_opt, age);
+        let ratio = gamma / t_opt;
+        Ok(OptimalInterval {
+            work_seconds: t_opt,
+            gamma,
+            overhead_ratio: ratio,
+            efficiency: if gamma.is_finite() {
+                t_opt / gamma
+            } else {
+                0.0
+            },
+        })
+    }
+}
+
+impl std::fmt::Debug for VaidyaModel<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VaidyaModel")
+            .field("costs", &self.costs)
+            .field("t_min", &self.t_min)
+            .field("t_max", &self.t_max)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chs_dist::{Exponential, HyperExponential, Weibull};
+    use chs_numerics::approx_eq;
+
+    fn exp_mean_1h() -> Exponential {
+        Exponential::from_mean(3_600.0).unwrap()
+    }
+
+    #[test]
+    fn costs_validation() {
+        let d = exp_mean_1h();
+        assert!(VaidyaModel::new(&d, CheckpointCosts::new(-1.0, 1.0)).is_err());
+        assert!(VaidyaModel::new(
+            &d,
+            CheckpointCosts {
+                checkpoint: 1.0,
+                recovery: f64::NAN,
+                latency: 1.0
+            }
+        )
+        .is_err());
+        assert!(VaidyaModel::new(&d, CheckpointCosts::symmetric(110.0)).is_ok());
+    }
+
+    #[test]
+    fn bounds_validation() {
+        let d = exp_mean_1h();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(50.0)).unwrap();
+        assert!(m.with_bounds(0.0, 100.0).is_err());
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(50.0)).unwrap();
+        assert!(m.with_bounds(100.0, 100.0).is_err());
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(50.0)).unwrap();
+        assert!(m.with_bounds(10.0, 1e6).is_ok());
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let d = Weibull::paper_exemplar();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(250.0)).unwrap();
+        for &t in &[10.0, 100.0, 1_000.0, 50_000.0] {
+            for &age in &[0.0, 500.0, 86_400.0] {
+                let q = m.quantities(t, age);
+                for (name, v) in [
+                    ("p01", q.p01),
+                    ("p02", q.p02),
+                    ("p21", q.p21),
+                    ("p22", q.p22),
+                ] {
+                    assert!((0.0..=1.0).contains(&v), "{name}={v} at t={t} age={age}");
+                }
+                assert!(approx_eq(q.p01 + q.p02, 1.0, 1e-12, 1e-12));
+                assert!(approx_eq(q.p21 + q.p22, 1.0, 1e-12, 1e-12));
+                assert!(q.k02 <= q.k01, "truncated mean exceeds horizon");
+                assert!(q.k22 <= q.k21);
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_at_least_success_cost() {
+        // Γ ≥ min path cost and efficiency ≤ 1 always.
+        let d = Weibull::paper_exemplar();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(100.0)).unwrap();
+        for &t in &[10.0, 300.0, 3_000.0] {
+            let g = m.gamma(t, 0.0);
+            assert!(g >= t, "gamma {g} < t {t}");
+            assert!(m.efficiency(t, 0.0) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_checkpoint_cost_perfect_efficiency_limit() {
+        // With C = R = L = 0 and huge T... efficiency is limited by lost
+        // work only; with tiny T it approaches 1.
+        let d = exp_mean_1h();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(0.0)).unwrap();
+        let eff = m.efficiency(1.0, 0.0);
+        assert!(eff > 0.999, "eff={eff}");
+    }
+
+    #[test]
+    fn exponential_t_opt_age_independent() {
+        let d = exp_mean_1h();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(110.0)).unwrap();
+        let t0 = m.optimal_interval(0.0).unwrap();
+        let t1 = m.optimal_interval(7_200.0).unwrap();
+        let t2 = m.optimal_interval(1e6).unwrap();
+        assert!(approx_eq(t0.work_seconds, t1.work_seconds, 1e-4, 1e-2));
+        assert!(approx_eq(t1.work_seconds, t2.work_seconds, 1e-4, 1e-2));
+    }
+
+    #[test]
+    fn exponential_t_opt_near_young_approximation() {
+        // For λ(C+T) « 1, Young's first-order optimum is T ≈ √(2C/λ).
+        // Vaidya's exact optimum differs by O(C), so compare loosely.
+        let mean = 100_000.0;
+        let c = 10.0;
+        let d = Exponential::from_mean(mean).unwrap();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(c)).unwrap();
+        let t = m.optimal_interval(0.0).unwrap().work_seconds;
+        let young = (2.0 * c * mean).sqrt();
+        assert!((t / young - 1.0).abs() < 0.25, "T_opt {t} vs Young {young}");
+    }
+
+    #[test]
+    fn t_opt_is_local_minimum() {
+        let d = Weibull::paper_exemplar();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(500.0)).unwrap();
+        for &age in &[0.0, 1_000.0, 50_000.0] {
+            let opt = m.optimal_interval(age).unwrap();
+            let t = opt.work_seconds;
+            let here = m.overhead_ratio(t, age);
+            assert!(m.overhead_ratio(t * 1.05, age) >= here - 1e-9, "age={age}");
+            assert!(m.overhead_ratio(t * 0.95, age) >= here - 1e-9, "age={age}");
+        }
+    }
+
+    #[test]
+    fn heavy_tail_t_opt_grows_with_age() {
+        // Decreasing hazard: the longer a machine has been up, the longer
+        // the next work interval can safely be.
+        let d = Weibull::paper_exemplar();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(110.0)).unwrap();
+        let t_young = m.optimal_interval(60.0).unwrap().work_seconds;
+        let t_old = m.optimal_interval(86_400.0).unwrap().work_seconds;
+        assert!(t_old > 1.5 * t_young, "young {t_young} old {t_old}");
+    }
+
+    #[test]
+    fn hyperexp_t_opt_depends_on_age() {
+        // Non-memoryless: the schedule must be aperiodic. At age 0 the
+        // mixture includes a 70 % fast phase the optimizer partially
+        // writes off; once aged past it, T_opt tracks the slow phase.
+        let d = HyperExponential::new(&[(0.7, 1.0 / 300.0), (0.3, 1.0 / 30_000.0)]).unwrap();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(110.0)).unwrap();
+        let t_young = m.optimal_interval(0.0).unwrap().work_seconds;
+        let t_old = m.optimal_interval(10_000.0).unwrap().work_seconds;
+        let rel = (t_old - t_young).abs() / t_young;
+        assert!(
+            rel > 0.10,
+            "T_opt should vary with age: young {t_young} old {t_old}"
+        );
+        // Once aged into the slow phase the process is locally memoryless:
+        // T_opt stabilizes.
+        let t_older = m.optimal_interval(60_000.0).unwrap().work_seconds;
+        assert!(
+            (t_older - t_old).abs() / t_old < 0.25,
+            "slow-phase T_opt should stabilize: {t_old} vs {t_older}"
+        );
+    }
+
+    #[test]
+    fn larger_checkpoint_cost_lowers_efficiency() {
+        let d = Weibull::paper_exemplar();
+        let mut prev_eff = 1.0;
+        let mut prev_t = 0.0;
+        for &c in &[50.0, 100.0, 250.0, 500.0, 1_000.0, 1_500.0] {
+            let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(c)).unwrap();
+            let opt = m.optimal_interval(0.0).unwrap();
+            assert!(
+                opt.efficiency < prev_eff,
+                "C={c}: eff {} !< {prev_eff}",
+                opt.efficiency
+            );
+            assert!(opt.work_seconds > prev_t, "C={c}: T_opt should grow with C");
+            prev_eff = opt.efficiency;
+            prev_t = opt.work_seconds;
+        }
+    }
+
+    #[test]
+    fn efficiency_in_paper_ballpark() {
+        // Paper Table 1 row C=110ish (interpolating rows 100–200): mean
+        // efficiency ~0.6–0.7 for the exemplar-machine-scale fits. A single
+        // exemplar machine won't match the pool average exactly, but must
+        // land in (0.3, 0.95).
+        let d = Weibull::paper_exemplar();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(110.0)).unwrap();
+        let opt = m.optimal_interval(0.0).unwrap();
+        assert!(
+            opt.efficiency > 0.3 && opt.efficiency < 0.95,
+            "eff={}",
+            opt.efficiency
+        );
+    }
+
+    #[test]
+    fn overhead_ratio_is_reciprocal_of_efficiency() {
+        let d = exp_mean_1h();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(200.0)).unwrap();
+        let opt = m.optimal_interval(0.0).unwrap();
+        assert!(approx_eq(
+            opt.overhead_ratio * opt.efficiency,
+            1.0,
+            1e-10,
+            1e-12
+        ));
+        assert!(opt.overhead_ratio >= 1.0);
+    }
+
+    #[test]
+    fn infinite_gamma_when_retry_impossible() {
+        // A machine whose lifetime is essentially never longer than
+        // recovery+work: Γ must be infinite (job can never finish).
+        let d = Exponential::from_mean(1.0).unwrap(); // mean 1 s
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(2_000.0)).unwrap();
+        let g = m.gamma(10_000.0, 0.0);
+        assert!(g > 1e100, "gamma={g}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the Vaidya model and schedules.
+
+use chs_dist::{Exponential, HyperExponential, Weibull};
+use chs_markov::{CheckpointCosts, Schedule, VaidyaModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Transition probabilities are proper and costs bounded for every
+    /// (T, age, C) combination across all three families.
+    #[test]
+    fn quantities_are_proper(
+        shape in 0.3f64..3.0,
+        scale in 100.0f64..50_000.0,
+        c in 0.0f64..2_000.0,
+        t in 1.0f64..100_000.0,
+        age in 0.0f64..200_000.0,
+    ) {
+        let d = Weibull::new(shape, scale).unwrap();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(c)).unwrap();
+        let q = m.quantities(t, age);
+        prop_assert!((0.0..=1.0).contains(&q.p01));
+        prop_assert!((0.0..=1.0).contains(&q.p02));
+        prop_assert!((q.p01 + q.p02 - 1.0).abs() < 1e-9);
+        prop_assert!((q.p21 + q.p22 - 1.0).abs() < 1e-9);
+        prop_assert!(q.k02 >= 0.0 && q.k02 <= q.k01 + 1e-9);
+        prop_assert!(q.k22 >= 0.0 && q.k22 <= q.k21 + 1e-9);
+    }
+
+    /// Γ(T) ≥ T always (you cannot finish an interval faster than the
+    /// work it contains), so efficiency ≤ 1.
+    #[test]
+    fn gamma_dominates_work(
+        mean in 100.0f64..100_000.0,
+        c in 0.0f64..1_000.0,
+        t in 1.0f64..50_000.0,
+    ) {
+        let d = Exponential::from_mean(mean).unwrap();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(c)).unwrap();
+        let g = m.gamma(t, 0.0);
+        prop_assert!(g >= t || g.is_infinite());
+        prop_assert!(m.efficiency(t, 0.0) <= 1.0 + 1e-12);
+    }
+
+    /// T_opt is a genuine local minimum of the overhead ratio.
+    #[test]
+    fn t_opt_local_optimality(
+        shape in 0.35f64..2.0,
+        c in 20.0f64..1_500.0,
+        age in 0.0f64..100_000.0,
+    ) {
+        let d = Weibull::new(shape, 3_409.0).unwrap();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(c)).unwrap();
+        let opt = m.optimal_interval(age).unwrap();
+        let here = m.overhead_ratio(opt.work_seconds, age);
+        prop_assert!(m.overhead_ratio(opt.work_seconds * 1.1, age) >= here - 1e-7);
+        prop_assert!(m.overhead_ratio(opt.work_seconds * 0.9, age) >= here - 1e-7);
+        prop_assert!(opt.efficiency > 0.0 && opt.efficiency <= 1.0);
+    }
+
+    /// Memorylessness: exponential T_opt does not depend on age.
+    #[test]
+    fn exponential_age_invariance(
+        mean in 200.0f64..50_000.0,
+        c in 10.0f64..1_000.0,
+        age in 0.0f64..500_000.0,
+    ) {
+        let d = Exponential::from_mean(mean).unwrap();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(c)).unwrap();
+        let t0 = m.optimal_interval(0.0).unwrap().work_seconds;
+        let ta = m.optimal_interval(age).unwrap().work_seconds;
+        prop_assert!((t0 - ta).abs() < 0.02 * t0, "t0 {t0} vs ta {ta}");
+    }
+
+    /// Schedules are internally consistent: ages chain by work + C, and
+    /// every planned interval is within the optimizer bounds.
+    #[test]
+    fn schedule_age_chain(
+        shape in 0.35f64..1.5,
+        c in 20.0f64..800.0,
+        initial_age in 0.0f64..50_000.0,
+    ) {
+        let d = Weibull::new(shape, 3_409.0).unwrap();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(c)).unwrap();
+        let s = Schedule::compute(&m, initial_age, 200_000.0, 24).unwrap();
+        let entries = s.entries();
+        prop_assert!(!entries.is_empty());
+        for w in entries.windows(2) {
+            let expected = w[0].start_age + w[0].interval.work_seconds + c;
+            prop_assert!((w[1].start_age - expected).abs() < 1e-6);
+        }
+        for e in entries {
+            prop_assert!(e.interval.work_seconds >= 1.0 - 1e-9);
+        }
+    }
+
+    /// More reliable machines (larger scale, same shape) get longer
+    /// optimal intervals.
+    #[test]
+    fn reliability_monotonicity(scale1 in 500.0f64..5_000.0, ratio in 1.5f64..10.0) {
+        let c = 110.0;
+        let d1 = Weibull::new(0.7, scale1).unwrap();
+        let d2 = Weibull::new(0.7, scale1 * ratio).unwrap();
+        let m1 = VaidyaModel::new(&d1, CheckpointCosts::symmetric(c)).unwrap();
+        let m2 = VaidyaModel::new(&d2, CheckpointCosts::symmetric(c)).unwrap();
+        let t1 = m1.optimal_interval(0.0).unwrap().work_seconds;
+        let t2 = m2.optimal_interval(0.0).unwrap().work_seconds;
+        prop_assert!(t2 > t1, "scale {} -> T {t1}; scale {} -> T {t2}",
+            scale1, scale1 * ratio);
+    }
+
+    /// The hyperexponential conditional machinery keeps the optimizer
+    /// finite and positive everywhere.
+    #[test]
+    fn hyperexp_optimizer_total(
+        p in 0.1f64..0.9,
+        fast_mean in 60.0f64..1_000.0,
+        slow_factor in 5.0f64..200.0,
+        c in 20.0f64..1_000.0,
+        age in 0.0f64..100_000.0,
+    ) {
+        let d = HyperExponential::new(&[
+            (p, 1.0 / fast_mean),
+            (1.0 - p, 1.0 / (fast_mean * slow_factor)),
+        ]).unwrap();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(c)).unwrap();
+        let opt = m.optimal_interval(age).unwrap();
+        prop_assert!(opt.work_seconds.is_finite() && opt.work_seconds > 0.0);
+        prop_assert!(opt.efficiency > 0.0 && opt.efficiency <= 1.0);
+    }
+}

@@ -1,0 +1,373 @@
+//! Time-series forecasters for checkpoint transfer durations.
+//!
+//! Modeled on the Network Weather Service's forecaster battery: several
+//! cheap predictors run in parallel over the same measurement stream, the
+//! mean-squared-error of each is tracked, and the adaptive forecaster
+//! answers with the prediction of whichever expert is currently most
+//! accurate.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A streaming one-step-ahead forecaster.
+pub trait Forecaster {
+    /// Incorporate a new measurement.
+    fn update(&mut self, value: f64);
+    /// Predict the next value; `None` until enough data has arrived.
+    fn predict(&self) -> Option<f64>;
+    /// Short human-readable name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Predicts the most recent measurement.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl Forecaster for LastValue {
+    fn update(&mut self, value: f64) {
+        self.last = Some(value);
+    }
+    fn predict(&self) -> Option<f64> {
+        self.last
+    }
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+}
+
+/// Predicts the mean of everything seen so far.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl Forecaster for RunningMean {
+    fn update(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+    fn predict(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+    fn name(&self) -> &'static str {
+        "running-mean"
+    }
+}
+
+/// Predicts the mean of the last `window` measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlidingMean {
+    window: usize,
+    values: VecDeque<f64>,
+    sum: f64,
+}
+
+impl SlidingMean {
+    /// Create with the given window length (≥ 1).
+    pub fn new(window: usize) -> Self {
+        Self {
+            window: window.max(1),
+            values: VecDeque::new(),
+            sum: 0.0,
+        }
+    }
+}
+
+impl Forecaster for SlidingMean {
+    fn update(&mut self, value: f64) {
+        self.values.push_back(value);
+        self.sum += value;
+        if self.values.len() > self.window {
+            self.sum -= self.values.pop_front().expect("nonempty");
+        }
+    }
+    fn predict(&self) -> Option<f64> {
+        (!self.values.is_empty()).then(|| self.sum / self.values.len() as f64)
+    }
+    fn name(&self) -> &'static str {
+        "sliding-mean"
+    }
+}
+
+/// Predicts the median of the last `window` measurements — robust to the
+/// occasional congested transfer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlidingMedian {
+    window: usize,
+    values: VecDeque<f64>,
+}
+
+impl SlidingMedian {
+    /// Create with the given window length (≥ 1).
+    pub fn new(window: usize) -> Self {
+        Self {
+            window: window.max(1),
+            values: VecDeque::new(),
+        }
+    }
+}
+
+impl Forecaster for SlidingMedian {
+    fn update(&mut self, value: f64) {
+        self.values.push_back(value);
+        if self.values.len() > self.window {
+            self.values.pop_front();
+        }
+    }
+    fn predict(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.values.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("measurements are finite"));
+        let n = sorted.len();
+        Some(if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        })
+    }
+    fn name(&self) -> &'static str {
+        "sliding-median"
+    }
+}
+
+/// Exponential smoothing: `ŷ ← g·y + (1 − g)·ŷ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpSmoothing {
+    gain: f64,
+    state: Option<f64>,
+}
+
+impl ExpSmoothing {
+    /// Create with gain `g ∈ (0, 1]`.
+    pub fn new(gain: f64) -> Self {
+        Self {
+            gain: gain.clamp(f64::MIN_POSITIVE, 1.0),
+            state: None,
+        }
+    }
+}
+
+impl Forecaster for ExpSmoothing {
+    fn update(&mut self, value: f64) {
+        self.state = Some(match self.state {
+            None => value,
+            Some(s) => self.gain * value + (1.0 - self.gain) * s,
+        });
+    }
+    fn predict(&self) -> Option<f64> {
+        self.state
+    }
+    fn name(&self) -> &'static str {
+        "exp-smoothing"
+    }
+}
+
+/// Which expert the adaptive forecaster currently trusts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpertChoice {
+    /// Index into the expert battery.
+    pub index: usize,
+    /// The expert's name.
+    pub name: &'static str,
+}
+
+/// NWS-style adaptive forecaster: runs a battery of experts, scores each
+/// by its mean squared one-step-ahead error, and predicts with the
+/// current best.
+pub struct AdaptiveForecaster {
+    experts: Vec<Box<dyn Forecaster + Send>>,
+    sq_errors: Vec<f64>,
+    updates: Vec<u64>,
+}
+
+impl AdaptiveForecaster {
+    /// The default battery: last value, running mean, sliding mean and
+    /// median (window 10), exponential smoothing at gains 0.1 / 0.3 / 0.6.
+    pub fn standard() -> Self {
+        Self::with_experts(vec![
+            Box::new(LastValue::default()),
+            Box::new(RunningMean::default()),
+            Box::new(SlidingMean::new(10)),
+            Box::new(SlidingMedian::new(10)),
+            Box::new(ExpSmoothing::new(0.1)),
+            Box::new(ExpSmoothing::new(0.3)),
+            Box::new(ExpSmoothing::new(0.6)),
+        ])
+    }
+
+    /// Build from a custom expert battery.
+    pub fn with_experts(experts: Vec<Box<dyn Forecaster + Send>>) -> Self {
+        let n = experts.len();
+        Self {
+            experts,
+            sq_errors: vec![0.0; n],
+            updates: vec![0; n],
+        }
+    }
+
+    /// Which expert currently has the lowest mean squared error.
+    pub fn best_expert(&self) -> Option<ExpertChoice> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (&se, &n)) in self.sq_errors.iter().zip(&self.updates).enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let mse = se / n as f64;
+            if best.is_none_or(|(_, b)| mse < b) {
+                best = Some((i, mse));
+            }
+        }
+        best.map(|(index, _)| ExpertChoice {
+            index,
+            name: self.experts[index].name(),
+        })
+    }
+}
+
+impl Forecaster for AdaptiveForecaster {
+    fn update(&mut self, value: f64) {
+        // Score each expert on its *prior* prediction before it sees the
+        // new measurement.
+        for (i, e) in self.experts.iter().enumerate() {
+            if let Some(p) = e.predict() {
+                let err = p - value;
+                self.sq_errors[i] += err * err;
+                self.updates[i] += 1;
+            }
+        }
+        for e in self.experts.iter_mut() {
+            e.update(value);
+        }
+    }
+
+    fn predict(&self) -> Option<f64> {
+        match self.best_expert() {
+            Some(choice) => self.experts[choice.index].predict(),
+            // No scored expert yet: fall back to any expert with data.
+            None => self.experts.iter().find_map(|e| e.predict()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+}
+
+impl std::fmt::Debug for AdaptiveForecaster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveForecaster")
+            .field("experts", &self.experts.len())
+            .field("best", &self.best_expert())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_tracks() {
+        let mut f = LastValue::default();
+        assert_eq!(f.predict(), None);
+        f.update(5.0);
+        f.update(9.0);
+        assert_eq!(f.predict(), Some(9.0));
+    }
+
+    #[test]
+    fn running_mean_averages() {
+        let mut f = RunningMean::default();
+        for v in [2.0, 4.0, 6.0] {
+            f.update(v);
+        }
+        assert_eq!(f.predict(), Some(4.0));
+    }
+
+    #[test]
+    fn sliding_mean_window() {
+        let mut f = SlidingMean::new(2);
+        for v in [1.0, 100.0, 2.0, 4.0] {
+            f.update(v);
+        }
+        assert_eq!(f.predict(), Some(3.0)); // last two only
+    }
+
+    #[test]
+    fn sliding_median_robust_to_outlier() {
+        let mut f = SlidingMedian::new(5);
+        for v in [100.0, 110.0, 105.0, 9_000.0, 108.0] {
+            f.update(v);
+        }
+        assert_eq!(f.predict(), Some(108.0));
+    }
+
+    #[test]
+    fn sliding_median_even_window() {
+        let mut f = SlidingMedian::new(4);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            f.update(v);
+        }
+        assert_eq!(f.predict(), Some(2.5));
+    }
+
+    #[test]
+    fn exp_smoothing_converges_to_constant() {
+        let mut f = ExpSmoothing::new(0.3);
+        for _ in 0..200 {
+            f.update(42.0);
+        }
+        assert!((f.predict().unwrap() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exp_smoothing_first_value_initializes() {
+        let mut f = ExpSmoothing::new(0.1);
+        f.update(7.0);
+        assert_eq!(f.predict(), Some(7.0));
+    }
+
+    #[test]
+    fn adaptive_prefers_mean_on_noisy_stationary() {
+        // Alternating 100/120: last-value is always 20 off; means are ~10 off.
+        let mut f = AdaptiveForecaster::standard();
+        for i in 0..100 {
+            f.update(if i % 2 == 0 { 100.0 } else { 120.0 });
+        }
+        let best = f.best_expert().unwrap();
+        assert_ne!(
+            best.name, "last-value",
+            "adaptive should not pick last-value"
+        );
+        let p = f.predict().unwrap();
+        assert!((p - 110.0).abs() < 8.0, "prediction {p}");
+    }
+
+    #[test]
+    fn adaptive_tracks_level_shift() {
+        // After a step change, the adaptive forecast moves to the new level.
+        let mut f = AdaptiveForecaster::standard();
+        for _ in 0..30 {
+            f.update(110.0);
+        }
+        for _ in 0..60 {
+            f.update(475.0);
+        }
+        let p = f.predict().unwrap();
+        assert!(p > 300.0, "forecast stuck at old level: {p}");
+    }
+
+    #[test]
+    fn adaptive_predicts_before_scoring() {
+        let mut f = AdaptiveForecaster::standard();
+        assert_eq!(f.predict(), None);
+        f.update(110.0);
+        // One observation: experts have data but no scored errors yet.
+        assert_eq!(f.predict(), Some(110.0));
+    }
+}

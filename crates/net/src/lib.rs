@@ -1,0 +1,26 @@
+//! Network performance prediction for checkpoint transfers.
+//!
+//! Checkpoints in a cycle-harvesting pool traverse a *shared* network to
+//! the checkpoint manager, so the scheduler needs per-path estimates of
+//! the checkpoint cost `C` and recovery cost `R`. The paper's system
+//! "combines this model with predictions of network performance to the
+//! storage site"; this crate supplies that component in the style of the
+//! authors' Network Weather Service:
+//!
+//! * [`forecast`] — a family of time-series forecasters (last value,
+//!   running mean, sliding mean/median, exponential smoothing) and an
+//!   [`forecast::AdaptiveForecaster`] that tracks each expert's error and
+//!   predicts with the current best, the NWS strategy.
+//! * [`transfer`] — stochastic transfer-time models for the two paths the
+//!   paper measures: the campus LAN (500 MB ≈ 110 s) and the wide-area
+//!   path to the authors' home institution (500 MB ≈ 475 s).
+
+#![deny(missing_docs)]
+
+pub mod forecast;
+pub mod timevary;
+pub mod transfer;
+
+pub use forecast::{AdaptiveForecaster, Forecaster};
+pub use timevary::{evaluate_forecasters, DiurnalPath, ForecasterScore};
+pub use transfer::{NetworkPath, TransferModel};

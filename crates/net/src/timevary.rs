@@ -1,0 +1,254 @@
+//! Time-varying network paths and forecaster evaluation.
+//!
+//! The paper holds `C` and `R` constant in simulation and measures them
+//! live; §5.2 notes that "variation of network performance, particularly
+//! in the wide area, makes these costs variable when the system is
+//! actually used". This module models the dominant source of that
+//! variation — diurnal congestion on shared links — and provides the
+//! scoring harness that justifies the adaptive forecaster: evaluate every
+//! expert's one-step-ahead error over any measurement series.
+
+use crate::forecast::Forecaster;
+use crate::transfer::{NetworkPath, TransferModel};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Seconds per day / hour.
+const DAY: f64 = 86_400.0;
+const HOUR: f64 = 3_600.0;
+
+/// A network path whose effective bandwidth varies with time of day:
+/// during weekday working hours the shared link carries everyone else's
+/// traffic too, stretching transfers by `peak_slowdown`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalPath {
+    /// The base (off-peak) path.
+    pub base: NetworkPath,
+    /// Multiplier on transfer durations during working hours (≥ 1).
+    pub peak_slowdown: f64,
+    /// Working-hours window, local hours (e.g. 9–17).
+    pub peak_hours: (f64, f64),
+}
+
+impl DiurnalPath {
+    /// Campus path with mild working-hours congestion.
+    pub fn campus_diurnal() -> Self {
+        Self {
+            base: NetworkPath::campus(),
+            peak_slowdown: 1.6,
+            peak_hours: (9.0, 17.0),
+        }
+    }
+
+    /// Wide-area path with strong working-hours congestion.
+    pub fn wide_area_diurnal() -> Self {
+        Self {
+            base: NetworkPath::wide_area(),
+            peak_slowdown: 2.2,
+            peak_hours: (8.0, 18.0),
+        }
+    }
+
+    /// Whether `t` (virtual seconds since a Monday 00:00) falls in the
+    /// congested window of a weekday.
+    pub fn is_peak(&self, t: f64) -> bool {
+        let weekday = ((t / DAY) as u64) % 7 < 5;
+        let hour = (t % DAY) / HOUR;
+        weekday && hour >= self.peak_hours.0 && hour < self.peak_hours.1
+    }
+
+    /// The duration multiplier in effect at `t`.
+    pub fn slowdown_at(&self, t: f64) -> f64 {
+        if self.is_peak(t) {
+            self.peak_slowdown
+        } else {
+            1.0
+        }
+    }
+
+    /// Draw one transfer duration for an image of `size_mb` starting at
+    /// virtual time `t`.
+    pub fn sample_duration_at(
+        &self,
+        t: f64,
+        size_mb: f64,
+        model: &TransferModel,
+        rng: &mut dyn RngCore,
+    ) -> f64 {
+        model.sample_duration(size_mb, rng) * self.slowdown_at(t)
+    }
+
+    /// Expected transfer duration at `t`.
+    pub fn expected_duration_at(&self, t: f64, size_mb: f64, model: &TransferModel) -> f64 {
+        model.expected_duration(size_mb) * self.slowdown_at(t)
+    }
+}
+
+/// One forecaster's score over a measurement series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForecasterScore {
+    /// The forecaster's name.
+    pub name: String,
+    /// Mean squared one-step-ahead error (lower is better).
+    pub mse: f64,
+    /// Mean absolute one-step-ahead error.
+    pub mae: f64,
+    /// Predictions scored (measurements after the first).
+    pub n: usize,
+}
+
+/// Score a battery of forecasters on a measurement series by streaming
+/// it through each: at every step the forecaster predicts before seeing
+/// the next value.
+pub fn evaluate_forecasters(
+    mut experts: Vec<Box<dyn Forecaster + Send>>,
+    series: &[f64],
+) -> Vec<ForecasterScore> {
+    let mut sq = vec![0.0f64; experts.len()];
+    let mut abs = vec![0.0f64; experts.len()];
+    let mut counts = vec![0usize; experts.len()];
+    for &value in series {
+        for (i, e) in experts.iter_mut().enumerate() {
+            if let Some(p) = e.predict() {
+                let err = p - value;
+                sq[i] += err * err;
+                abs[i] += err.abs();
+                counts[i] += 1;
+            }
+            e.update(value);
+        }
+    }
+    experts
+        .iter()
+        .enumerate()
+        .map(|(i, e)| ForecasterScore {
+            name: e.name().to_string(),
+            mse: if counts[i] > 0 {
+                sq[i] / counts[i] as f64
+            } else {
+                f64::INFINITY
+            },
+            mae: if counts[i] > 0 {
+                abs[i] / counts[i] as f64
+            } else {
+                f64::INFINITY
+            },
+            n: counts[i],
+        })
+        .collect()
+}
+
+/// The standard battery used by [`crate::AdaptiveForecaster::standard`],
+/// reconstructed for stand-alone evaluation.
+pub fn standard_battery() -> Vec<Box<dyn Forecaster + Send>> {
+    use crate::forecast::{ExpSmoothing, LastValue, RunningMean, SlidingMean, SlidingMedian};
+    vec![
+        Box::new(LastValue::default()),
+        Box::new(RunningMean::default()),
+        Box::new(SlidingMean::new(10)),
+        Box::new(SlidingMedian::new(10)),
+        Box::new(ExpSmoothing::new(0.1)),
+        Box::new(ExpSmoothing::new(0.3)),
+        Box::new(ExpSmoothing::new(0.6)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn peak_detection() {
+        let p = DiurnalPath::campus_diurnal();
+        // Monday 10:00 is peak; Monday 03:00 and Saturday 10:00 are not.
+        assert!(p.is_peak(10.0 * HOUR));
+        assert!(!p.is_peak(3.0 * HOUR));
+        assert!(!p.is_peak(5.0 * DAY + 10.0 * HOUR));
+        assert_eq!(p.slowdown_at(10.0 * HOUR), 1.6);
+        assert_eq!(p.slowdown_at(3.0 * HOUR), 1.0);
+    }
+
+    #[test]
+    fn peak_transfers_slower() {
+        let p = DiurnalPath::wide_area_diurnal();
+        let model = TransferModel::new(p.base);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 5_000;
+        let mean = |t: f64, rng: &mut ChaCha8Rng| {
+            (0..n)
+                .map(|_| p.sample_duration_at(t, 500.0, &model, rng))
+                .sum::<f64>()
+                / n as f64
+        };
+        let peak = mean(10.0 * HOUR, &mut rng);
+        let off = mean(2.0 * HOUR, &mut rng);
+        assert!(
+            (peak / off - p.peak_slowdown).abs() < 0.1,
+            "peak {peak} off {off}"
+        );
+    }
+
+    #[test]
+    fn expected_duration_tracks_slowdown() {
+        let p = DiurnalPath::campus_diurnal();
+        let model = TransferModel::new(p.base);
+        let off = p.expected_duration_at(2.0 * HOUR, 500.0, &model);
+        let peak = p.expected_duration_at(10.0 * HOUR, 500.0, &model);
+        assert!((peak / off - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluation_ranks_correctly_on_stationary_noise() {
+        // Alternating values: last-value has the worst MSE, means best.
+        let series: Vec<f64> = (0..400)
+            .map(|i| if i % 2 == 0 { 100.0 } else { 120.0 })
+            .collect();
+        let scores = evaluate_forecasters(standard_battery(), &series);
+        let last = scores.iter().find(|s| s.name == "last-value").unwrap();
+        let run = scores.iter().find(|s| s.name == "running-mean").unwrap();
+        assert!(
+            run.mse < last.mse,
+            "running-mean {} !< last-value {}",
+            run.mse,
+            last.mse
+        );
+        for s in &scores {
+            assert!(s.n >= 399 - 10, "{} scored too few: {}", s.name, s.n);
+            assert!(s.mae <= s.mse.sqrt() + 1e-9, "MAE ≤ RMSE for {}", s.name);
+        }
+    }
+
+    #[test]
+    fn evaluation_ranks_trackers_on_level_shift() {
+        // Step change: the high-gain smoother beats the running mean.
+        let mut series = vec![110.0; 50];
+        series.extend(vec![475.0; 150]);
+        let scores = evaluate_forecasters(standard_battery(), &series);
+        let fast = scores.iter().find(|s| s.name == "exp-smoothing").unwrap();
+        let run = scores.iter().find(|s| s.name == "running-mean").unwrap();
+        assert!(fast.mse < run.mse);
+    }
+
+    #[test]
+    fn diurnal_series_favors_window_forecasters() {
+        // A realistic use: transfer times over a diurnal path. Adaptive
+        // windowed experts should beat the all-history mean.
+        let p = DiurnalPath::campus_diurnal();
+        let model = TransferModel::new(p.base);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let series: Vec<f64> = (0..600)
+            .map(|i| p.sample_duration_at(i as f64 * 900.0, 500.0, &model, &mut rng))
+            .collect();
+        let scores = evaluate_forecasters(standard_battery(), &series);
+        let sliding = scores.iter().find(|s| s.name == "sliding-mean").unwrap();
+        let run = scores.iter().find(|s| s.name == "running-mean").unwrap();
+        assert!(
+            sliding.mse <= run.mse * 1.05,
+            "sliding {} should not lose badly to running {}",
+            sliding.mse,
+            run.mse
+        );
+    }
+}

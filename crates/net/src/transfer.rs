@@ -1,0 +1,199 @@
+//! Stochastic transfer-time models for checkpoint traffic.
+//!
+//! **Substitution note (DESIGN.md §5).** The paper measures real transfers
+//! of 500 MB images over (a) the UW campus network (average 110 s) and
+//! (b) the commodity Internet to the authors' home institution (average
+//! 475 s). We model a path's per-transfer duration as log-normal around a
+//! configurable mean with configurable dispersion — log-normal is the
+//! standard empirical model for wide-area TCP transfer times and keeps
+//! durations strictly positive. Each transfer also pays a fixed setup
+//! latency (TCP/manager handshake), which the paper notes is negligible
+//! against the bulk transfer.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// The checkpoint image size the paper uses throughout (megabytes):
+/// machines in the pool had ≥ 512 MB of memory and the target application
+/// checkpoints its full image.
+pub const PAPER_IMAGE_MB: f64 = 500.0;
+
+/// A network path between execution machines and the checkpoint manager.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkPath {
+    /// Mean transfer time for a 500 MB image, seconds.
+    pub mean_500mb_seconds: f64,
+    /// σ of `ln(duration)`: dispersion of individual transfers.
+    pub log_sigma: f64,
+    /// Fixed per-transfer setup latency, seconds.
+    pub setup_latency: f64,
+}
+
+impl NetworkPath {
+    /// The UW campus LAN path of Table 4 (average C ≈ 110 s).
+    pub fn campus() -> Self {
+        Self {
+            mean_500mb_seconds: 110.0,
+            log_sigma: 0.18,
+            setup_latency: 0.5,
+        }
+    }
+
+    /// The wide-area path of Table 5 (average C ≈ 475 s; commodity
+    /// Internet shows more dispersion).
+    pub fn wide_area() -> Self {
+        Self {
+            mean_500mb_seconds: 475.0,
+            log_sigma: 0.35,
+            setup_latency: 2.0,
+        }
+    }
+
+    /// A custom path from a mean 500 MB transfer time.
+    pub fn with_mean(mean_500mb_seconds: f64) -> Self {
+        Self {
+            mean_500mb_seconds,
+            log_sigma: 0.25,
+            setup_latency: 1.0,
+        }
+    }
+
+    /// Effective mean bandwidth in MB/s.
+    pub fn mean_bandwidth(&self) -> f64 {
+        PAPER_IMAGE_MB / self.mean_500mb_seconds
+    }
+}
+
+/// Samples transfer durations for checkpoint/recovery images on one path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    path: NetworkPath,
+    /// `μ` of the underlying normal so the log-normal's *mean* equals the
+    /// configured path mean: `μ = ln(m) − σ²/2`.
+    ln_mu_500: f64,
+}
+
+impl TransferModel {
+    /// Build a model for `path`.
+    pub fn new(path: NetworkPath) -> Self {
+        let sigma = path.log_sigma;
+        let ln_mu_500 = path.mean_500mb_seconds.ln() - 0.5 * sigma * sigma;
+        Self { path, ln_mu_500 }
+    }
+
+    /// The underlying path.
+    pub fn path(&self) -> &NetworkPath {
+        &self.path
+    }
+
+    /// Expected transfer duration for an image of `size_mb` megabytes
+    /// (linear in size over the bulk-transfer regime, plus setup).
+    pub fn expected_duration(&self, size_mb: f64) -> f64 {
+        self.path.setup_latency + self.path.mean_500mb_seconds * (size_mb / PAPER_IMAGE_MB)
+    }
+
+    /// Draw one transfer duration for an image of `size_mb` megabytes.
+    pub fn sample_duration(&self, size_mb: f64, rng: &mut dyn RngCore) -> f64 {
+        let z = standard_normal(rng);
+        let bulk_500 = (self.ln_mu_500 + self.path.log_sigma * z).exp();
+        self.path.setup_latency + bulk_500 * (size_mb / PAPER_IMAGE_MB)
+    }
+
+    /// Megabytes that cross the wire when a transfer of `size_mb` is cut
+    /// off after `elapsed` of a transfer that would have taken `full`
+    /// seconds: proportional progress, setup latency carries no payload.
+    pub fn partial_megabytes(&self, size_mb: f64, elapsed: f64, full: f64) -> f64 {
+        let setup = self.path.setup_latency;
+        if full <= setup || elapsed <= setup {
+            return 0.0;
+        }
+        let frac = ((elapsed - setup) / (full - setup)).clamp(0.0, 1.0);
+        size_mb * frac
+    }
+}
+
+fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn paper_path_presets() {
+        assert_eq!(NetworkPath::campus().mean_500mb_seconds, 110.0);
+        assert_eq!(NetworkPath::wide_area().mean_500mb_seconds, 475.0);
+        assert!(NetworkPath::wide_area().log_sigma > NetworkPath::campus().log_sigma);
+    }
+
+    #[test]
+    fn mean_bandwidth() {
+        let b = NetworkPath::campus().mean_bandwidth();
+        assert!((b - 500.0 / 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_mean_matches_configured_mean() {
+        let m = TransferModel::new(NetworkPath::campus());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|_| m.sample_duration(PAPER_IMAGE_MB, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        let expected = m.expected_duration(PAPER_IMAGE_MB);
+        assert!(
+            (mean / expected - 1.0).abs() < 0.01,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn durations_strictly_positive() {
+        let m = TransferModel::new(NetworkPath::wide_area());
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            assert!(m.sample_duration(500.0, &mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn expected_duration_linear_in_size() {
+        let m = TransferModel::new(NetworkPath::campus());
+        let d250 = m.expected_duration(250.0);
+        let d500 = m.expected_duration(500.0);
+        // Subtracting setup, bulk time halves.
+        let setup = m.path().setup_latency;
+        assert!(((d250 - setup) * 2.0 - (d500 - setup)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_transfer_accounting() {
+        let m = TransferModel::new(NetworkPath::campus());
+        let full = 110.5; // includes 0.5 s setup
+        assert_eq!(m.partial_megabytes(500.0, 0.2, full), 0.0); // still in setup
+        let half = m.partial_megabytes(500.0, 0.5 + 55.0, full);
+        assert!((half - 250.0).abs() < 1e-9, "half={half}");
+        assert_eq!(m.partial_megabytes(500.0, 1_000.0, full), 500.0); // clamp
+    }
+
+    #[test]
+    fn wide_area_more_variable_than_campus() {
+        let campus = TransferModel::new(NetworkPath::campus());
+        let wan = TransferModel::new(NetworkPath::wide_area());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let cv = |m: &TransferModel, rng: &mut ChaCha8Rng| {
+            let xs: Vec<f64> = (0..n).map(|_| m.sample_duration(500.0, rng)).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            var.sqrt() / mean
+        };
+        assert!(cv(&wan, &mut rng) > cv(&campus, &mut rng));
+    }
+}

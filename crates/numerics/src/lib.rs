@@ -1,0 +1,118 @@
+//! Numerical kernel for the `cycle-harvest` workspace.
+//!
+//! The paper relies on Matlab (maximum-likelihood fitting) and *Numerical
+//! Recipes in C* (golden-section minimization). This crate supplies the
+//! equivalent building blocks from scratch:
+//!
+//! * [`special`] — log-gamma, error function, regularized incomplete gamma
+//!   and beta functions, digamma.
+//! * [`quadrature`] — adaptive Simpson and Gauss–Legendre integration.
+//! * [`optimize`] — golden-section search and Brent's method for 1-D
+//!   minimization, plus bracketing.
+//! * [`roots`] — bisection, safeguarded Newton, and Brent root finding.
+//!
+//! Everything is `f64`, deterministic, and allocation-free on the hot
+//! paths so the checkpoint-interval optimizer can call it thousands of
+//! times per schedule without pressure on the allocator.
+
+#![deny(missing_docs)]
+
+pub mod optimize;
+pub mod quadrature;
+pub mod roots;
+pub mod special;
+
+/// Errors produced by the numerical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// The supplied interval does not bracket a root/minimum as required.
+    InvalidBracket {
+        /// Lower end of the offending interval.
+        lo: f64,
+        /// Upper end of the offending interval.
+        hi: f64,
+    },
+    /// An iterative routine failed to converge within its iteration cap.
+    NoConvergence {
+        /// Name of the routine that gave up.
+        routine: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was outside the routine's domain (NaN, negative where
+    /// positivity is required, etc.).
+    DomainError {
+        /// Name of the routine that rejected the argument.
+        routine: &'static str,
+        /// Human-readable description of the violation.
+        message: &'static str,
+    },
+}
+
+impl std::fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NumericsError::InvalidBracket { lo, hi } => {
+                write!(f, "invalid bracket [{lo}, {hi}]")
+            }
+            NumericsError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} failed to converge after {iterations} iterations"
+                )
+            }
+            NumericsError::DomainError { routine, message } => {
+                write!(f, "{routine}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, NumericsError>;
+
+/// Machine-epsilon-scaled comparison helper: `a` and `b` agree to within
+/// `rel` relative tolerance or `abs` absolute tolerance.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, rel: f64, abs: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= abs || diff <= rel * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-15, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-15, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9, 0.0));
+        assert!(!approx_eq(1e12, 1.1e12, 1e-9, 0.0));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = NumericsError::InvalidBracket { lo: 0.0, hi: 1.0 };
+        assert!(e.to_string().contains("invalid bracket"));
+        let e = NumericsError::NoConvergence {
+            routine: "newton",
+            iterations: 5,
+        };
+        assert!(e.to_string().contains("newton"));
+        let e = NumericsError::DomainError {
+            routine: "ln_gamma",
+            message: "x <= 0",
+        };
+        assert!(e.to_string().contains("ln_gamma"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Schedule policies: how the simulated job chooses its next work
+//! interval.
+
+use crate::{Result, SimError};
+use chs_dist::{AvailabilityModel, FittedModel};
+use chs_markov::{CheckpointCosts, VaidyaModel};
+
+/// Decides the next work interval given the machine's current age
+/// (seconds since the start of its current availability segment).
+pub trait SchedulePolicy {
+    /// Work interval to attempt next, seconds.
+    fn next_interval(&self, age: f64) -> f64;
+    /// Display label.
+    fn label(&self) -> String;
+}
+
+/// Fixed periodic interval — the classical baseline every
+/// checkpoint-interval paper compares against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedIntervalPolicy {
+    /// The constant work interval, seconds.
+    pub interval: f64,
+}
+
+impl SchedulePolicy for FixedIntervalPolicy {
+    fn next_interval(&self, _age: f64) -> f64 {
+        self.interval
+    }
+    fn label(&self) -> String {
+        format!("fixed({} s)", self.interval)
+    }
+}
+
+/// The paper's policy: Vaidya `T_opt` from a fitted availability model,
+/// recomputed at the machine's current age (aperiodic for non-memoryless
+/// families).
+pub struct ModelPolicy {
+    model: FittedModel,
+    costs: CheckpointCosts,
+}
+
+impl ModelPolicy {
+    /// Bind a fitted model to the phase costs.
+    pub fn new(model: FittedModel, costs: CheckpointCosts) -> Self {
+        Self { model, costs }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &FittedModel {
+        &self.model
+    }
+
+    fn t_opt(&self, age: f64) -> Result<f64> {
+        let vaidya = VaidyaModel::new(&self.model, self.costs)
+            .map_err(|e| SimError::Policy(e.to_string()))?;
+        Ok(vaidya
+            .optimal_interval(age)
+            .map_err(|e| SimError::Policy(e.to_string()))?
+            .work_seconds)
+    }
+}
+
+impl SchedulePolicy for ModelPolicy {
+    fn next_interval(&self, age: f64) -> f64 {
+        // A policy failure (extraordinarily pathological fits) degrades to
+        // a conservative default rather than aborting a pool-wide sweep:
+        // one mean lifetime per checkpoint.
+        self.t_opt(age)
+            .unwrap_or_else(|_| self.model.mean().max(1.0))
+    }
+    fn label(&self) -> String {
+        self.model.kind().label()
+    }
+}
+
+/// [`ModelPolicy`] with `T_opt(age)` precomputed on a geometric age grid
+/// and interpolated log-linearly. The sweep over 640 machines × 10
+/// checkpoint costs × 4 models would otherwise re-run golden-section
+/// search hundreds of times per availability segment.
+///
+/// For memoryless models the grid degenerates to a single entry.
+pub struct CachedPolicy {
+    inner: ModelPolicy,
+    grid_ages: Vec<f64>,
+    grid_t: Vec<f64>,
+}
+
+/// Number of grid points used by [`CachedPolicy`].
+pub const CACHE_GRID_POINTS: usize = 64;
+
+impl CachedPolicy {
+    /// Precompute the cache. `max_age` should cover the longest
+    /// availability segment the simulation will encounter (ages beyond it
+    /// clamp to the last grid value, which is safe because `T_opt(age)`
+    /// flattens as conditioning saturates).
+    pub fn new(model: FittedModel, costs: CheckpointCosts, max_age: f64) -> Self {
+        let inner = ModelPolicy::new(model, costs);
+        if inner.model.kind().is_memoryless() {
+            let t = inner.next_interval(0.0);
+            return Self {
+                inner,
+                grid_ages: vec![0.0],
+                grid_t: vec![t],
+            };
+        }
+        // Geometric grid from 1 s to max_age, plus the exact age-0 point.
+        let max_age = max_age.max(10.0);
+        let n = CACHE_GRID_POINTS;
+        let mut grid_ages = Vec::with_capacity(n + 1);
+        grid_ages.push(0.0);
+        let lo: f64 = 1.0;
+        let ratio = (max_age / lo).powf(1.0 / (n as f64 - 1.0));
+        let mut a = lo;
+        for _ in 0..n {
+            grid_ages.push(a);
+            a *= ratio;
+        }
+        let grid_t = grid_ages
+            .iter()
+            .map(|&age| inner.next_interval(age))
+            .collect();
+        Self {
+            inner,
+            grid_ages,
+            grid_t,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &FittedModel {
+        self.inner.model()
+    }
+}
+
+impl SchedulePolicy for CachedPolicy {
+    fn next_interval(&self, age: f64) -> f64 {
+        let ages = &self.grid_ages;
+        let ts = &self.grid_t;
+        if ts.len() == 1 || age <= ages[0] {
+            return ts[0];
+        }
+        match ages.binary_search_by(|probe| probe.partial_cmp(&age).expect("finite grid")) {
+            Ok(i) => ts[i],
+            Err(i) if i >= ages.len() => *ts.last().expect("nonempty grid"),
+            Err(i) => {
+                // Log-linear interpolation in age (grid is geometric).
+                let (a0, a1) = (ages[i - 1].max(1e-9), ages[i]);
+                let (t0, t1) = (ts[i - 1], ts[i]);
+                let w = ((age.max(1e-9) / a0).ln() / (a1 / a0).ln()).clamp(0.0, 1.0);
+                t0 + w * (t1 - t0)
+            }
+        }
+    }
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chs_dist::fit::fit_model;
+    use chs_dist::{ModelKind, Weibull};
+    use rand::SeedableRng;
+
+    fn weibull_fit() -> FittedModel {
+        let truth = Weibull::paper_exemplar();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let data: Vec<f64> = (0..400).map(|_| truth.sample(&mut rng)).collect();
+        fit_model(ModelKind::Weibull, &data).unwrap()
+    }
+
+    #[test]
+    fn fixed_policy_is_constant() {
+        let p = FixedIntervalPolicy { interval: 600.0 };
+        assert_eq!(p.next_interval(0.0), 600.0);
+        assert_eq!(p.next_interval(1e6), 600.0);
+        assert!(p.label().contains("600"));
+    }
+
+    #[test]
+    fn model_policy_matches_vaidya_directly() {
+        let fit = weibull_fit();
+        let costs = CheckpointCosts::symmetric(110.0);
+        let policy = ModelPolicy::new(fit.clone(), costs);
+        let vaidya = VaidyaModel::new(&fit, costs).unwrap();
+        for &age in &[0.0, 100.0, 10_000.0] {
+            let direct = vaidya.optimal_interval(age).unwrap().work_seconds;
+            assert!(
+                (policy.next_interval(age) - direct).abs() < 1e-9,
+                "age={age}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_policy_close_to_exact() {
+        let fit = weibull_fit();
+        let costs = CheckpointCosts::symmetric(110.0);
+        let exact = ModelPolicy::new(fit.clone(), costs);
+        let cached = CachedPolicy::new(fit, costs, 400_000.0);
+        for &age in &[0.0, 3.0, 57.0, 333.0, 4_096.0, 70_000.0, 350_000.0] {
+            let e = exact.next_interval(age);
+            let c = cached.next_interval(age);
+            assert!(
+                (c / e - 1.0).abs() < 0.05,
+                "age={age}: cached {c} vs exact {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_policy_clamps_beyond_grid() {
+        let fit = weibull_fit();
+        let cached = CachedPolicy::new(fit, CheckpointCosts::symmetric(110.0), 10_000.0);
+        let at_edge = cached.next_interval(10_000.0);
+        let beyond = cached.next_interval(1e9);
+        assert!((beyond - at_edge).abs() < 1e-9 * at_edge.max(1.0) || beyond >= at_edge);
+    }
+
+    #[test]
+    fn cached_exponential_single_entry() {
+        let data: Vec<f64> = (1..100).map(|i| 100.0 * i as f64).collect();
+        let fit = fit_model(ModelKind::Exponential, &data).unwrap();
+        let cached = CachedPolicy::new(fit, CheckpointCosts::symmetric(50.0), 1e6);
+        let a = cached.next_interval(0.0);
+        let b = cached.next_interval(5e5);
+        assert_eq!(a, b, "memoryless cache must be constant");
+        assert!(cached.label().contains("Exponential"));
+    }
+}

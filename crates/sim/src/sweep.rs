@@ -1,0 +1,230 @@
+//! Pool-wide parameter sweeps: the engine behind Figures 3–4 and
+//! Tables 1 & 3.
+//!
+//! For every machine, fit all four paper models on the training prefix of
+//! its trace; then for every checkpoint cost `C` in the grid and every
+//! model, simulate the experimental remainder and record per-machine
+//! efficiency and network load. Work is parallelized over machines with
+//! rayon; per-machine results stay index-aligned so downstream paired
+//! t-tests can compare models machine-by-machine.
+
+use crate::engine::{simulate_trace, SimConfig};
+use crate::metrics::SimResult;
+use crate::policy::CachedPolicy;
+use chs_dist::fit::fit_model;
+use chs_dist::{FittedModel, ModelKind};
+use chs_markov::CheckpointCosts;
+use chs_trace::{MachineId, MachinePool};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One machine prepared for the sweep: its four fitted models plus the
+/// held-out experimental durations.
+#[derive(Debug, Clone)]
+pub struct MachineExperiment {
+    /// Which machine.
+    pub machine: MachineId,
+    /// Fitted models, in [`ModelKind::PAPER_SET`] order.
+    pub fits: Vec<FittedModel>,
+    /// The experimental (held-out) durations.
+    pub test_durations: Vec<f64>,
+}
+
+/// Fit the paper's four models to every machine's training prefix.
+///
+/// Machines that cannot be split (too few observations) or whose data
+/// defeats one of the estimators are dropped, mirroring the paper's
+/// "chosen a sufficient number of times" filter.
+pub fn prepare_experiments(pool: &MachinePool, train_len: usize) -> Vec<MachineExperiment> {
+    pool.traces()
+        .par_iter()
+        .filter_map(|trace| {
+            let (train, test) = trace.split(train_len).ok()?;
+            if test.is_empty() {
+                return None;
+            }
+            let mut fits = Vec::with_capacity(ModelKind::PAPER_SET.len());
+            for kind in ModelKind::PAPER_SET {
+                fits.push(fit_model(kind, &train).ok()?);
+            }
+            Some(MachineExperiment {
+                machine: trace.machine,
+                fits,
+                test_durations: test,
+            })
+        })
+        .collect()
+}
+
+/// The per-(C, model) cell of a sweep: per-machine metrics, index-aligned
+/// with the experiment list.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Efficiency per machine.
+    pub efficiency: Vec<f64>,
+    /// Network megabytes per machine.
+    pub megabytes: Vec<f64>,
+    /// Full accounting aggregated over the pool.
+    pub aggregate: SimResult,
+}
+
+/// Results of a full grid sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// The checkpoint costs on the grid (seconds).
+    pub c_values: Vec<f64>,
+    /// The models, in [`ModelKind::PAPER_SET`] order.
+    pub models: Vec<ModelKind>,
+    /// `cells[c_index][model_index]`.
+    pub cells: Vec<Vec<SweepCell>>,
+    /// Machines included (same order as each cell's vectors).
+    pub machines: Vec<MachineId>,
+}
+
+impl SweepGrid {
+    /// Mean efficiency for `(c_index, model_index)`.
+    pub fn mean_efficiency(&self, c_index: usize, model_index: usize) -> f64 {
+        mean(&self.cells[c_index][model_index].efficiency)
+    }
+
+    /// Mean megabytes for `(c_index, model_index)`.
+    pub fn mean_megabytes(&self, c_index: usize, model_index: usize) -> f64 {
+        mean(&self.cells[c_index][model_index].megabytes)
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// The checkpoint-cost grid of the paper's Figures 3–4 / Tables 1 & 3.
+pub const PAPER_C_GRID: [f64; 10] = [
+    50.0, 100.0, 200.0, 250.0, 400.0, 500.0, 750.0, 1_000.0, 1_250.0, 1_500.0,
+];
+
+/// Run the full sweep: for every C and model, simulate every machine's
+/// experimental trace under the model's cached `T_opt` policy.
+pub fn sweep_paper_grid(
+    experiments: &[MachineExperiment],
+    c_values: &[f64],
+    image_mb: f64,
+) -> SweepGrid {
+    let models: Vec<ModelKind> = ModelKind::PAPER_SET.to_vec();
+    let machines: Vec<MachineId> = experiments.iter().map(|e| e.machine).collect();
+
+    let cells: Vec<Vec<SweepCell>> = c_values
+        .par_iter()
+        .map(|&c| {
+            models
+                .iter()
+                .enumerate()
+                .map(|(mi, _)| {
+                    let mut cell = SweepCell::default();
+                    for exp in experiments {
+                        let max_age = exp.test_durations.iter().cloned().fold(0.0f64, f64::max);
+                        let policy = CachedPolicy::new(
+                            exp.fits[mi].clone(),
+                            CheckpointCosts::symmetric(c),
+                            max_age,
+                        );
+                        let mut config = SimConfig::paper(c);
+                        config.image_mb = image_mb;
+                        let r = simulate_trace(&exp.test_durations, &policy, &config)
+                            .expect("validated durations");
+                        cell.efficiency.push(r.efficiency());
+                        cell.megabytes.push(r.megabytes);
+                        cell.aggregate.absorb(&r);
+                    }
+                    cell
+                })
+                .collect()
+        })
+        .collect();
+
+    SweepGrid {
+        c_values: c_values.to_vec(),
+        models,
+        cells,
+        machines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chs_trace::synthetic::{generate_pool, PoolConfig};
+
+    fn small_pool() -> MachinePool {
+        generate_pool(&PoolConfig::small(12, 60, 17)).as_machine_pool()
+    }
+
+    #[test]
+    fn prepare_fits_all_four_models() {
+        let exps = prepare_experiments(&small_pool(), 25);
+        assert!(!exps.is_empty());
+        for e in &exps {
+            assert_eq!(e.fits.len(), 4);
+            assert_eq!(e.test_durations.len(), 35);
+            for (kind, fit) in ModelKind::PAPER_SET.iter().zip(&e.fits) {
+                assert_eq!(fit.kind(), *kind);
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_drops_short_traces() {
+        let pool = generate_pool(&PoolConfig::small(4, 10, 3)).as_machine_pool();
+        // train_len 25 > 10 observations: everything dropped.
+        assert!(prepare_experiments(&pool, 25).is_empty());
+    }
+
+    #[test]
+    fn sweep_shapes_and_alignment() {
+        let exps = prepare_experiments(&small_pool(), 25);
+        let grid = sweep_paper_grid(&exps, &[100.0, 500.0], 500.0);
+        assert_eq!(grid.c_values, vec![100.0, 500.0]);
+        assert_eq!(grid.models.len(), 4);
+        assert_eq!(grid.cells.len(), 2);
+        for row in &grid.cells {
+            assert_eq!(row.len(), 4);
+            for cell in row {
+                assert_eq!(cell.efficiency.len(), exps.len());
+                assert_eq!(cell.megabytes.len(), exps.len());
+            }
+        }
+        assert_eq!(grid.machines.len(), exps.len());
+    }
+
+    #[test]
+    fn efficiency_decreases_with_checkpoint_cost() {
+        let exps = prepare_experiments(&small_pool(), 25);
+        let grid = sweep_paper_grid(&exps, &[50.0, 1_500.0], 500.0);
+        for mi in 0..4 {
+            let cheap = grid.mean_efficiency(0, mi);
+            let dear = grid.mean_efficiency(1, mi);
+            assert!(
+                cheap > dear,
+                "model {mi}: eff(C=50)={cheap} !> eff(C=1500)={dear}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_efficiencies_are_fractions() {
+        let exps = prepare_experiments(&small_pool(), 25);
+        let grid = sweep_paper_grid(&exps, &[250.0], 500.0);
+        for cell in &grid.cells[0] {
+            for &e in &cell.efficiency {
+                assert!((0.0..=1.0).contains(&e), "efficiency {e}");
+            }
+            for &mb in &cell.megabytes {
+                assert!(mb >= 0.0);
+            }
+            assert!(cell.aggregate.conservation_residual().abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the trace simulator.
+
+use chs_markov::CheckpointCosts;
+use chs_sim::{simulate_trace, CachedPolicy, FixedIntervalPolicy, SimConfig};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random durations in a plausible availability
+/// range, parameterized by a seed so proptest explores many traces.
+fn durations(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // 1 s .. ~28 h, log-uniform-ish.
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            (10f64).powf(u * 5.0)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Time conservation is exact for arbitrary traces and policies.
+    #[test]
+    fn conservation(seed in 0u64..10_000, c in 0.0f64..1_000.0, t in 1.0f64..20_000.0) {
+        let ds = durations(200, seed);
+        let policy = FixedIntervalPolicy { interval: t };
+        let r = simulate_trace(&ds, &policy, &SimConfig::paper(c)).unwrap();
+        prop_assert!(r.conservation_residual().abs() < 1e-6 * r.total_seconds.max(1.0));
+        prop_assert!((r.total_seconds - ds.iter().sum::<f64>()).abs() < 1e-6);
+    }
+
+    /// Efficiency and megabytes are always non-negative; efficiency ≤ 1.
+    #[test]
+    fn metric_bounds(seed in 0u64..10_000, c in 1.0f64..2_000.0, t in 1.0f64..50_000.0) {
+        let ds = durations(120, seed);
+        let policy = FixedIntervalPolicy { interval: t };
+        let r = simulate_trace(&ds, &policy, &SimConfig::paper(c)).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.efficiency()));
+        prop_assert!(r.megabytes >= 0.0);
+        prop_assert!(r.checkpoints_committed <= r.checkpoints_attempted);
+        prop_assert!(r.failures as usize == 120);
+        prop_assert!(r.recoveries as usize == 120);
+    }
+
+    /// Counting recovery bytes can only increase megabytes, and by at most
+    /// one image per segment.
+    #[test]
+    fn recovery_bytes_accounting(seed in 0u64..5_000, c in 10.0f64..500.0) {
+        let ds = durations(80, seed);
+        let policy = FixedIntervalPolicy { interval: 900.0 };
+        let mut with = SimConfig::paper(c);
+        with.count_recovery_bytes = true;
+        let mut without = with;
+        without.count_recovery_bytes = false;
+        let rw = simulate_trace(&ds, &policy, &with).unwrap();
+        let ro = simulate_trace(&ds, &policy, &without).unwrap();
+        let delta = rw.megabytes - ro.megabytes;
+        prop_assert!(delta >= 0.0);
+        prop_assert!(delta <= 500.0 * ds.len() as f64 + 1e-6);
+        // Everything else identical.
+        prop_assert!((rw.useful_seconds - ro.useful_seconds).abs() < 1e-9);
+    }
+
+    /// Scaling the checkpoint image scales network bytes exactly
+    /// linearly and changes nothing else.
+    #[test]
+    fn image_size_linearity(seed in 0u64..5_000, factor in 0.1f64..4.0) {
+        let ds = durations(100, seed);
+        let policy = FixedIntervalPolicy { interval: 1_200.0 };
+        let base = SimConfig::paper(110.0);
+        let mut scaled = base;
+        scaled.image_mb = base.image_mb * factor;
+        let rb = simulate_trace(&ds, &policy, &base).unwrap();
+        let rs = simulate_trace(&ds, &policy, &scaled).unwrap();
+        prop_assert!((rs.megabytes - rb.megabytes * factor).abs() < 1e-6 * rs.megabytes.max(1.0));
+        prop_assert!((rs.useful_seconds - rb.useful_seconds).abs() < 1e-9);
+    }
+
+    /// A zero-length checkpoint never loses committed work to checkpoint
+    /// interruption: megabytes come only from recoveries.
+    #[test]
+    fn zero_cost_checkpoint(seed in 0u64..5_000) {
+        let ds = durations(60, seed);
+        let policy = FixedIntervalPolicy { interval: 500.0 };
+        let mut config = SimConfig::paper(0.0);
+        config.recovery_cost = 0.0;
+        let r = simulate_trace(&ds, &policy, &config).unwrap();
+        prop_assert_eq!(r.checkpoint_seconds, 0.0);
+        prop_assert_eq!(r.recovery_seconds, 0.0);
+    }
+
+    /// The cached policy stays within 10 % of the exact policy's
+    /// simulated efficiency (interpolation cannot wreck schedules).
+    #[test]
+    fn cached_policy_faithful(seed in 0u64..200) {
+        use chs_dist::fit::fit_model;
+        use chs_dist::ModelKind;
+        let ds = durations(150, seed);
+        let (train, test) = ds.split_at(25);
+        if let Ok(fit) = fit_model(ModelKind::Weibull, train) {
+            let c = 250.0;
+            let max_age = test.iter().cloned().fold(0.0f64, f64::max);
+            let cached = CachedPolicy::new(fit.clone(), CheckpointCosts::symmetric(c), max_age);
+            let exact = chs_sim::ModelPolicy::new(fit, CheckpointCosts::symmetric(c));
+            let rc = simulate_trace(test, &cached, &SimConfig::paper(c)).unwrap();
+            let re = simulate_trace(test, &exact, &SimConfig::paper(c)).unwrap();
+            let diff = (rc.efficiency() - re.efficiency()).abs();
+            prop_assert!(diff < 0.10, "cached {} vs exact {}", rc.efficiency(), re.efficiency());
+        }
+    }
+}

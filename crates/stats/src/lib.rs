@@ -1,0 +1,69 @@
+//! Statistics for the paper's evaluation methodology: summary statistics,
+//! Student-t 95 % confidence intervals, two-sided **paired** t-tests, and
+//! the per-row significance-marker annotations of Tables 1 and 3.
+//!
+//! The paper compares four checkpoint-schedule models over the *same* set
+//! of machines, so model comparisons are paired by machine; within each
+//! checkpoint-cost row every pair of models gets a two-sided paired t-test
+//! at α = 0.05, and each cell is annotated with the markers of the models
+//! it significantly beats.
+
+#![deny(missing_docs)]
+
+pub mod nonparametric;
+pub mod significance;
+pub mod summary;
+pub mod tdist;
+pub mod ttest;
+
+pub use nonparametric::{bootstrap_mean_ci, wilcoxon_signed_rank, WilcoxonResult};
+pub use significance::{significance_markers, Direction};
+pub use summary::{mean, sample_variance, std_dev, Summary};
+pub use tdist::{t_cdf, t_quantile};
+pub use ttest::{paired_t_test, TTestResult};
+
+/// Errors from the statistics routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// Not enough observations for the requested statistic.
+    TooFewObservations {
+        /// How many were needed.
+        needed: usize,
+        /// How many were supplied.
+        got: usize,
+    },
+    /// Paired inputs of different lengths.
+    LengthMismatch {
+        /// Length of the first series.
+        a: usize,
+        /// Length of the second series.
+        b: usize,
+    },
+    /// A numerics routine failed.
+    Numerics(chs_numerics::NumericsError),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::TooFewObservations { needed, got } => {
+                write!(f, "need >= {needed} observations, got {got}")
+            }
+            StatsError::LengthMismatch { a, b } => {
+                write!(f, "paired series have different lengths: {a} vs {b}")
+            }
+            StatsError::Numerics(e) => write!(f, "numerics failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+impl From<chs_numerics::NumericsError> for StatsError {
+    fn from(e: chs_numerics::NumericsError) -> Self {
+        StatsError::Numerics(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,243 @@
+//! Nonparametric companions to the paired t-test: the Wilcoxon
+//! signed-rank test and percentile-bootstrap confidence intervals.
+//!
+//! The paper's paired t-test assumes near-normal pairwise differences;
+//! per-machine efficiencies are bounded in \[0, 1\] and can be skewed, so
+//! a careful reproduction should confirm its significance calls with a
+//! rank test. The ablation harness runs both.
+
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sided Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WilcoxonResult {
+    /// The signed-rank statistic `W` (sum of ranks of positive
+    /// differences).
+    pub w_statistic: f64,
+    /// Number of non-zero differences used.
+    pub n_used: usize,
+    /// Two-sided p-value (normal approximation with tie and continuity
+    /// corrections; exact for tiny n is unnecessary at pool scale).
+    pub p_value: f64,
+}
+
+impl WilcoxonResult {
+    /// Whether the difference is significant at level `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sided Wilcoxon signed-rank test on paired series `a`, `b`.
+///
+/// Zero differences are dropped (Wilcoxon's convention); ties among the
+/// absolute differences receive average ranks with the variance
+/// correction `Σ(t³ − t)/48`.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<WilcoxonResult> {
+    if a.len() != b.len() {
+        return Err(StatsError::LengthMismatch {
+            a: a.len(),
+            b: b.len(),
+        });
+    }
+    let mut diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n < 5 {
+        return Err(StatsError::TooFewObservations { needed: 5, got: n });
+    }
+    // Rank by |difference| with average ranks for ties.
+    diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).expect("finite differences"));
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[j + 1].abs() == diffs[i].abs() {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_correction += t * t * t - t;
+        }
+        i = j + 1;
+    }
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| *r)
+        .sum();
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;
+    if var <= 0.0 {
+        // All differences tied to zero rank mass — call it insignificant.
+        return Ok(WilcoxonResult {
+            w_statistic: w_plus,
+            n_used: n,
+            p_value: 1.0,
+        });
+    }
+    // Continuity correction.
+    let z = (w_plus - mean).abs().max(0.5) - 0.5;
+    let z = z / var.sqrt();
+    let p = chs_numerics::special::erfc(z / std::f64::consts::SQRT_2);
+    Ok(WilcoxonResult {
+        w_statistic: w_plus,
+        n_used: n,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Percentile bootstrap confidence interval for the mean of `xs`.
+///
+/// Deterministic given `seed`; `resamples` of 1000–10000 are typical.
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> Result<(f64, f64)> {
+    if xs.len() < 2 {
+        return Err(StatsError::TooFewObservations {
+            needed: 2,
+            got: xs.len(),
+        });
+    }
+    if resamples < 10 {
+        return Err(StatsError::TooFewObservations {
+            needed: 10,
+            got: resamples,
+        });
+    }
+    // Small deterministic xorshift so chs-stats stays rand-free.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let n = xs.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let idx = (next() % n as u64) as usize;
+            sum += xs[idx];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let tail = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f64 * tail) as usize).min(resamples - 1);
+    let hi_idx = ((resamples as f64 * (1.0 - tail)) as usize).min(resamples - 1);
+    Ok((means[lo_idx], means[hi_idx]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::mean;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(wilcoxon_signed_rank(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(wilcoxon_signed_rank(&[1.0; 4], &[1.0; 4]).is_err()); // all zero diffs
+    }
+
+    #[test]
+    fn identical_series_insignificant() {
+        // With one tiny asymmetric wiggle the test must not fire.
+        let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let mut b = a.clone();
+        for (i, v) in b.iter_mut().enumerate() {
+            *v += if i % 2 == 0 { 0.01 } else { -0.01 };
+        }
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(!r.significant_at(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn consistent_shift_significant() {
+        let a: Vec<f64> = (0..40)
+            .map(|i| 0.5 + 0.01 * (i as f64 * 7.0 % 13.0))
+            .collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 0.02).collect();
+        let r = wilcoxon_signed_rank(&b, &a).unwrap();
+        assert!(r.significant_at(0.01), "p = {}", r.p_value);
+        assert_eq!(r.n_used, 40);
+    }
+
+    #[test]
+    fn agrees_with_t_test_on_clean_data() {
+        // Deterministic pseudo-random paired sample with a real effect.
+        let a: Vec<f64> = (0..60)
+            .map(|i| 0.6 + 0.05 * (((i * 37) % 101) as f64 / 101.0))
+            .collect();
+        let b: Vec<f64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x - 0.01 - 0.005 * (((i * 53) % 7) as f64 / 7.0))
+            .collect();
+        let t = crate::paired_t_test(&a, &b).unwrap();
+        let w = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert_eq!(t.significant_at(0.05), w.significant_at(0.05));
+        assert!(t.mean_difference > 0.0);
+    }
+
+    #[test]
+    fn wilcoxon_robust_to_outlier_where_t_is_not() {
+        // 24 small positive differences + one enormous negative outlier:
+        // the t statistic is dragged down, ranks barely notice.
+        let base: Vec<f64> = (0..25).map(|i| 1.0 + i as f64).collect();
+        let mut shifted: Vec<f64> = base.iter().map(|x| x + 0.5).collect();
+        shifted[0] = base[0] - 500.0;
+        let w = wilcoxon_signed_rank(&shifted, &base).unwrap();
+        let t = crate::paired_t_test(&shifted, &base).unwrap();
+        assert!(w.significant_at(0.05), "wilcoxon p = {}", w.p_value);
+        assert!(!t.significant_at(0.05), "t-test p = {}", t.p_value);
+    }
+
+    #[test]
+    fn bootstrap_brackets_the_mean() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let m = mean(&xs);
+        let (lo, hi) = bootstrap_mean_ci(&xs, 0.95, 2_000, 7).unwrap();
+        assert!(lo < m && m < hi, "[{lo}, {hi}] vs {m}");
+        // Comparable width to the t interval on well-behaved data.
+        let t_ci = crate::Summary::ci95(&xs).unwrap();
+        let width = hi - lo;
+        assert!(
+            (width / (2.0 * t_ci.half_width) - 1.0).abs() < 0.3,
+            "widths differ: bootstrap {width} vs t {}",
+            2.0 * t_ci.half_width
+        );
+    }
+
+    #[test]
+    fn bootstrap_deterministic() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = bootstrap_mean_ci(&xs, 0.95, 500, 3).unwrap();
+        let b = bootstrap_mean_ci(&xs, 0.95, 500, 3).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_mean_ci(&xs, 0.95, 500, 4).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bootstrap_validation() {
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 100, 1).is_err());
+        assert!(bootstrap_mean_ci(&[1.0, 2.0], 0.95, 5, 1).is_err());
+    }
+}

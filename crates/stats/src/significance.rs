@@ -1,0 +1,125 @@
+//! The significance-marker annotation scheme of the paper's Tables 1
+//! and 3.
+//!
+//! Within one table row (one checkpoint cost), every pair of models is
+//! compared with a two-sided paired t-test at α = 0.05. Each cell then
+//! lists the one-character markers of every model it *significantly
+//! beats* — e.g. "(e,w)" in the 2-phase hyperexponential column means its
+//! value is statistically significantly better than the exponential's and
+//! the Weibull's. "Better" is larger for efficiency (Table 1) and smaller
+//! for bandwidth (Table 3).
+
+use crate::ttest::paired_t_test;
+use crate::Result;
+
+/// Which direction counts as "better" for the metric being annotated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values win (efficiency, Table 1).
+    HigherIsBetter,
+    /// Smaller values win (bandwidth, Table 3).
+    LowerIsBetter,
+}
+
+/// Compute the marker sets for one table row.
+///
+/// `series[i]` holds model `i`'s per-machine values (index-aligned across
+/// models); `markers[i]` is model `i`'s one-character label. Returns, for
+/// each model, the (sorted) markers of the models it significantly beats
+/// at level `alpha`.
+pub fn significance_markers(
+    series: &[Vec<f64>],
+    markers: &[char],
+    direction: Direction,
+    alpha: f64,
+) -> Result<Vec<Vec<char>>> {
+    assert_eq!(series.len(), markers.len(), "one marker per series");
+    let k = series.len();
+    let mut out: Vec<Vec<char>> = vec![Vec::new(); k];
+    for i in 0..k {
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            let t = paired_t_test(&series[i], &series[j])?;
+            let beats = match direction {
+                Direction::HigherIsBetter => t.mean_difference > 0.0,
+                Direction::LowerIsBetter => t.mean_difference < 0.0,
+            };
+            if beats && t.significant_at(alpha) {
+                out[i].push(markers[j]);
+            }
+        }
+        out[i].sort_unstable();
+    }
+    Ok(out)
+}
+
+/// Render a marker set the way the paper prints it: `""` when empty,
+/// otherwise `"(e,w,2)"`.
+pub fn render_markers(markers: &[char]) -> String {
+    if markers.is_empty() {
+        String::new()
+    } else {
+        let inner: Vec<String> = markers.iter().map(|c| c.to_string()).collect();
+        format!("({})", inner.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three models over 30 machines: `worst < mid < best` with clear
+    /// separation, plus per-machine offsets.
+    fn three_series() -> Vec<Vec<f64>> {
+        let machine_effect = |i: usize| 0.02 * ((i * 13 % 30) as f64);
+        let worst: Vec<f64> = (0..30).map(|i| 0.40 + machine_effect(i)).collect();
+        let mid: Vec<f64> = (0..30).map(|i| 0.50 + machine_effect(i)).collect();
+        let best: Vec<f64> = (0..30).map(|i| 0.60 + machine_effect(i)).collect();
+        vec![worst, mid, best]
+    }
+
+    #[test]
+    fn higher_is_better_ordering() {
+        let s = three_series();
+        let m =
+            significance_markers(&s, &['e', 'w', '2'], Direction::HigherIsBetter, 0.05).unwrap();
+        assert_eq!(m[0], Vec::<char>::new()); // worst beats nobody
+        assert_eq!(m[1], vec!['e']); // mid beats worst
+        assert_eq!(m[2], vec!['e', 'w']); // best beats both
+    }
+
+    #[test]
+    fn lower_is_better_flips() {
+        let s = three_series();
+        let m = significance_markers(&s, &['e', 'w', '2'], Direction::LowerIsBetter, 0.05).unwrap();
+        assert_eq!(m[0], vec!['2', 'w']); // lowest wins now
+        assert_eq!(m[2], Vec::<char>::new());
+    }
+
+    #[test]
+    fn indistinguishable_series_get_no_markers() {
+        let a: Vec<f64> = (0..25).map(|i| ((i * 37 % 101) as f64) / 101.0).collect();
+        let b: Vec<f64> = (0..25).map(|i| ((i * 53 % 101) as f64) / 101.0).collect();
+        let m =
+            significance_markers(&[a, b], &['e', 'w'], Direction::HigherIsBetter, 0.05).unwrap();
+        assert!(m[0].is_empty() && m[1].is_empty());
+    }
+
+    #[test]
+    fn rendering_matches_paper_format() {
+        assert_eq!(render_markers(&[]), "");
+        assert_eq!(render_markers(&['e']), "(e)");
+        assert_eq!(render_markers(&['e', 'w', '2']), "(e,w,2)");
+    }
+
+    #[test]
+    fn markers_sorted() {
+        let s = three_series();
+        let m =
+            significance_markers(&s, &['w', '2', 'e'], Direction::HigherIsBetter, 0.05).unwrap();
+        // best beats 'w' and '2' → sorted as ['2', 'w'].
+        assert_eq!(m[2], vec!['2', 'w']);
+    }
+}

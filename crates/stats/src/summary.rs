@@ -1,0 +1,164 @@
+//! Summary statistics and Student-t confidence intervals.
+
+use crate::tdist::t_quantile;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (n − 1 denominator), via the two-pass
+/// algorithm for numerical stability.
+pub fn sample_variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(StatsError::TooFewObservations {
+            needed: 2,
+            got: xs.len(),
+        });
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok(ss / (xs.len() as f64 - 1.0))
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(sample_variance(xs)?.sqrt())
+}
+
+/// Mean with a symmetric Student-t confidence interval — the `x̄ ± h`
+/// format of the paper's Tables 1 and 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the confidence interval.
+    pub half_width: f64,
+    /// Sample size.
+    pub n: usize,
+    /// Confidence level used (e.g. 0.95).
+    pub confidence: f64,
+}
+
+impl Summary {
+    /// Compute the mean and `confidence`-level t-interval of `xs`.
+    pub fn compute(xs: &[f64], confidence: f64) -> Result<Summary> {
+        if xs.len() < 2 {
+            return Err(StatsError::TooFewObservations {
+                needed: 2,
+                got: xs.len(),
+            });
+        }
+        let n = xs.len();
+        let m = mean(xs);
+        let sd = std_dev(xs)?;
+        let df = (n - 1) as f64;
+        let t = t_quantile(0.5 + confidence / 2.0, df)?;
+        Ok(Summary {
+            mean: m,
+            half_width: t * sd / (n as f64).sqrt(),
+            n,
+            confidence,
+        })
+    }
+
+    /// The paper's 95 % interval.
+    pub fn ci95(xs: &[f64]) -> Result<Summary> {
+        Self::compute(xs, 0.95)
+    }
+
+    /// Lower bound of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Format as the paper prints it: `0.754 ± 0.013`.
+    pub fn to_pm_string(&self, decimals: usize) -> String {
+        format!(
+            "{:.*} ± {:.*}",
+            decimals, self.mean, decimals, self.half_width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[4.0]), 4.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // var of 2,4,4,4,5,5,7,9 (sample, n−1): mean 5, ss 32, var 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let v = sample_variance(&xs).unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_needs_two() {
+        assert!(sample_variance(&[1.0]).is_err());
+        assert!(sample_variance(&[]).is_err());
+    }
+
+    #[test]
+    fn ci_matches_hand_computed_t_table() {
+        // n = 5, sd = 1, mean = 10: 95 % half-width = t_{.975,4}/√5 with
+        // t_{.975,4} = 2.7764.
+        let xs = [9.0, 9.5, 10.0, 10.5, 11.0];
+        let s = Summary::ci95(&xs).unwrap();
+        let sd = std_dev(&xs).unwrap();
+        let expected = 2.776_445_105 * sd / 5.0f64.sqrt();
+        assert!(
+            (s.half_width - expected).abs() < 1e-6,
+            "hw={}",
+            s.half_width
+        );
+        assert_eq!(s.mean, 10.0);
+        assert!(s.lo() < 10.0 && s.hi() > 10.0);
+    }
+
+    #[test]
+    fn interval_narrows_with_n() {
+        let xs5: Vec<f64> = (0..5).map(|i| (i % 2) as f64).collect();
+        let xs500: Vec<f64> = (0..500).map(|i| (i % 2) as f64).collect();
+        let s5 = Summary::ci95(&xs5).unwrap();
+        let s500 = Summary::ci95(&xs500).unwrap();
+        assert!(s500.half_width < s5.half_width / 3.0);
+    }
+
+    #[test]
+    fn pm_formatting() {
+        let s = Summary {
+            mean: 0.7536,
+            half_width: 0.0131,
+            n: 640,
+            confidence: 0.95,
+        };
+        assert_eq!(s.to_pm_string(3), "0.754 ± 0.013");
+    }
+
+    #[test]
+    fn higher_confidence_wider_interval() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.37) % 5.0).collect();
+        let s90 = Summary::compute(&xs, 0.90).unwrap();
+        let s99 = Summary::compute(&xs, 0.99).unwrap();
+        assert!(s99.half_width > s90.half_width);
+    }
+}

@@ -1,0 +1,117 @@
+//! Student-t distribution: CDF via the regularized incomplete beta
+//! function and quantiles by monotone inversion.
+
+use crate::Result;
+use chs_numerics::roots::brent_root;
+use chs_numerics::special::reg_inc_beta;
+
+/// CDF of Student's t with `df` degrees of freedom.
+///
+/// Uses `P(T ≤ t) = 1 − I_{df/(df+t²)}(df/2, 1/2) / 2` for `t ≥ 0` and
+/// symmetry for `t < 0`.
+pub fn t_cdf(t: f64, df: f64) -> Result<f64> {
+    let x = df / (df + t * t);
+    let tail = 0.5 * reg_inc_beta(0.5 * df, 0.5, x)?;
+    Ok(if t >= 0.0 { 1.0 - tail } else { tail })
+}
+
+/// Quantile (inverse CDF) of Student's t with `df` degrees of freedom,
+/// for `p ∈ (0, 1)`.
+pub fn t_quantile(p: f64, df: f64) -> Result<f64> {
+    let valid = p > 0.0 && p < 1.0 && df > 0.0;
+    if !valid {
+        return Err(chs_numerics::NumericsError::DomainError {
+            routine: "t_quantile",
+            message: "requires 0 < p < 1 and df > 0",
+        }
+        .into());
+    }
+    if (p - 0.5).abs() < 1e-15 {
+        return Ok(0.0);
+    }
+    // The t quantile is bounded in magnitude by the Cauchy (df = 1)
+    // quantile, which has the closed form tan(π(p − 1/2)).
+    let cauchy = (std::f64::consts::PI * (p - 0.5)).tan();
+    let hi = cauchy.abs().max(1.0) * 2.0 + 10.0;
+    let target = p;
+    let root = brent_root(
+        |t| t_cdf(t, df).unwrap_or(f64::NAN) - target,
+        -hi,
+        hi,
+        1e-12,
+    )?;
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chs_numerics::approx_eq;
+
+    #[test]
+    fn cdf_symmetry_and_center() {
+        for &df in &[1.0, 4.0, 30.0, 200.0] {
+            assert!(
+                approx_eq(t_cdf(0.0, df).unwrap(), 0.5, 1e-12, 1e-13),
+                "df={df}"
+            );
+            for &t in &[0.5, 1.0, 2.5] {
+                let hi = t_cdf(t, df).unwrap();
+                let lo = t_cdf(-t, df).unwrap();
+                assert!(approx_eq(hi + lo, 1.0, 1e-12, 1e-12), "df={df} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        // df = 1 is Cauchy: F(1) = 3/4.
+        assert!(approx_eq(t_cdf(1.0, 1.0).unwrap(), 0.75, 1e-10, 0.0));
+        // Large df approaches the normal: F(1.959964, 1e6) ≈ 0.975.
+        assert!(approx_eq(t_cdf(1.959_964, 1e6).unwrap(), 0.975, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn classic_t_table_values() {
+        // Two-sided 95 % critical values from any t-table.
+        let cases = [
+            (4.0, 2.776_445_105),
+            (10.0, 2.228_138_852),
+            (30.0, 2.042_272_456),
+            (100.0, 1.983_971_519),
+        ];
+        for &(df, expected) in &cases {
+            let q = t_quantile(0.975, df).unwrap();
+            assert!(
+                approx_eq(q, expected, 1e-6, 1e-7),
+                "df={df}: {q} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &df in &[2.0, 7.0, 639.0] {
+            for &p in &[0.01, 0.2, 0.5, 0.9, 0.999] {
+                let q = t_quantile(p, df).unwrap();
+                let back = t_cdf(q, df).unwrap();
+                assert!(approx_eq(back, p, 1e-9, 1e-10), "df={df} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_domain() {
+        assert!(t_quantile(0.0, 5.0).is_err());
+        assert!(t_quantile(1.0, 5.0).is_err());
+        assert!(t_quantile(0.5, -1.0).is_err());
+        assert_eq!(t_quantile(0.5, 5.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn heavier_tails_at_low_df() {
+        let q2 = t_quantile(0.975, 2.0).unwrap();
+        let q100 = t_quantile(0.975, 100.0).unwrap();
+        assert!(q2 > q100, "low-df t must have heavier tails");
+    }
+}

@@ -1,0 +1,152 @@
+//! Two-sided paired t-test (the paper's model-comparison test, α = 0.05).
+
+use crate::summary::{mean, std_dev};
+use crate::tdist::t_cdf;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Result of a paired t-test between two index-aligned series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TTestResult {
+    /// Mean of the pairwise differences `a_i − b_i`.
+    pub mean_difference: f64,
+    /// The t statistic `d̄ / (s_d / √n)`.
+    pub t_statistic: f64,
+    /// Degrees of freedom (`n − 1`).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl TTestResult {
+    /// Whether the difference is significant at level `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sided paired t-test of `H0: mean(a − b) = 0`.
+///
+/// # Errors
+/// * [`StatsError::LengthMismatch`] when the series differ in length.
+/// * [`StatsError::TooFewObservations`] when `n < 2`.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
+    if a.len() != b.len() {
+        return Err(StatsError::LengthMismatch {
+            a: a.len(),
+            b: b.len(),
+        });
+    }
+    if a.len() < 2 {
+        return Err(StatsError::TooFewObservations {
+            needed: 2,
+            got: a.len(),
+        });
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = diffs.len() as f64;
+    let d_bar = mean(&diffs);
+    let sd = std_dev(&diffs)?;
+    let df = n - 1.0;
+    if sd == 0.0 {
+        // All differences identical: either exactly zero (p = 1) or a
+        // deterministic offset (p = 0).
+        return Ok(TTestResult {
+            mean_difference: d_bar,
+            t_statistic: if d_bar == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY.copysign(d_bar)
+            },
+            df,
+            p_value: if d_bar == 0.0 { 1.0 } else { 0.0 },
+        });
+    }
+    let t = d_bar / (sd / n.sqrt());
+    let p = 2.0 * (1.0 - t_cdf(t.abs(), df)?);
+    Ok(TTestResult {
+        mean_difference: d_bar,
+        t_statistic: t,
+        df,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(paired_t_test(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(paired_t_test(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn identical_series_not_significant() {
+        let a = [0.7, 0.75, 0.68, 0.71];
+        let r = paired_t_test(&a, &a).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.t_statistic, 0.0);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn constant_offset_fully_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.1, 2.1, 3.1, 4.1];
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!((r.mean_difference + 0.1).abs() < 1e-12);
+        assert_eq!(r.p_value, 0.0);
+        assert!(r.significant_at(0.05));
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // Differences: 1, 2, 3, 4, 5 → d̄ = 3, s_d = √2.5, t = 3/(√2.5/√5)
+        // = 3/√0.5 = 4.2426; df = 4; two-sided p ≈ 0.0132.
+        let a = [11.0, 22.0, 33.0, 44.0, 55.0];
+        let b = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(
+            (r.t_statistic - 4.242_640_687).abs() < 1e-6,
+            "t={}",
+            r.t_statistic
+        );
+        assert!((r.p_value - 0.013_23).abs() < 2e-4, "p={}", r.p_value);
+        assert!(r.significant_at(0.05));
+        assert!(!r.significant_at(0.01));
+    }
+
+    #[test]
+    fn symmetry_in_argument_order() {
+        let a = [0.9, 1.3, 0.8, 1.1, 1.4, 0.95];
+        let b = [0.7, 1.1, 0.9, 1.0, 1.2, 0.80];
+        let ab = paired_t_test(&a, &b).unwrap();
+        let ba = paired_t_test(&b, &a).unwrap();
+        assert!((ab.t_statistic + ba.t_statistic).abs() < 1e-12);
+        assert!((ab.p_value - ba.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paired_beats_unpaired_when_machines_vary() {
+        // Per-machine variation dwarfs the model effect; pairing still
+        // detects a consistent small improvement.
+        let base: Vec<f64> = (0..40)
+            .map(|i| 0.3 + 0.01 * (i as f64 * 7.3 % 40.0))
+            .collect();
+        let better: Vec<f64> = base.iter().map(|x| x + 0.005).collect();
+        let r = paired_t_test(&better, &base).unwrap();
+        assert!(r.significant_at(0.05), "p={}", r.p_value);
+        assert!(r.mean_difference > 0.0);
+    }
+
+    #[test]
+    fn noise_rarely_significant() {
+        // Deterministic pseudo-noise with ~zero mean difference.
+        let a: Vec<f64> = (0..100).map(|i| ((i * 37 % 101) as f64) / 101.0).collect();
+        let b: Vec<f64> = (0..100).map(|i| ((i * 53 % 101) as f64) / 101.0).collect();
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(r.p_value > 0.05, "spurious significance: p={}", r.p_value);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the statistics crate.
+
+use chs_stats::{
+    bootstrap_mean_ci, mean, paired_t_test, t_cdf, t_quantile, wilcoxon_signed_rank, Summary,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// t CDF is a proper CDF: monotone, symmetric, centered.
+    #[test]
+    fn t_cdf_proper(df in 1.0f64..500.0, t1 in -8.0f64..8.0, dt in 0.0f64..4.0) {
+        let lo = t_cdf(t1, df).unwrap();
+        let hi = t_cdf(t1 + dt, df).unwrap();
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!(hi + 1e-12 >= lo);
+        let sym = t_cdf(-t1, df).unwrap();
+        prop_assert!((lo + sym - 1.0).abs() < 1e-10);
+    }
+
+    /// Quantile inverts the CDF across the plane.
+    #[test]
+    fn t_quantile_roundtrip(df in 1.0f64..500.0, p in 0.001f64..0.999) {
+        let q = t_quantile(p, df).unwrap();
+        let back = t_cdf(q, df).unwrap();
+        prop_assert!((back - p).abs() < 1e-8);
+    }
+
+    /// The t interval always brackets the sample mean and shrinks when
+    /// the data are duplicated (n doubles, variance identical).
+    #[test]
+    fn ci_brackets_mean(values in prop::collection::vec(-100.0f64..100.0, 5..60)) {
+        // Degenerate all-equal samples have zero width; skip them.
+        let spread = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-9);
+        let s = Summary::ci95(&values).unwrap();
+        let m = mean(&values);
+        prop_assert!(s.lo() <= m && m <= s.hi());
+        let doubled: Vec<f64> = values.iter().chain(values.iter()).copied().collect();
+        let s2 = Summary::ci95(&doubled).unwrap();
+        prop_assert!(s2.half_width < s.half_width);
+    }
+
+    /// Paired t-test is antisymmetric in its arguments and invariant to
+    /// adding a common machine effect to both series.
+    #[test]
+    fn t_test_invariances(
+        base in prop::collection::vec(0.0f64..1.0, 8..40),
+        shift in -0.3f64..0.3,
+    ) {
+        // A constant shift has zero difference-variance (t = ±∞), which is
+        // handled but makes the antisymmetry arithmetic vacuous; require a
+        // non-degenerate base.
+        let spread = base.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - base.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let a: Vec<f64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 1.1 + shift.abs() + 0.01 + 0.001 * (i % 3) as f64)
+            .collect();
+        let ab = paired_t_test(&a, &base).unwrap();
+        prop_assume!(ab.t_statistic.is_finite());
+        let ba = paired_t_test(&base, &a).unwrap();
+        prop_assert!((ab.t_statistic + ba.t_statistic).abs() < 1e-9);
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        // Add a per-index machine effect to both: differences unchanged.
+        let effect: Vec<f64> = (0..base.len()).map(|i| (i as f64) * 0.37).collect();
+        let a2: Vec<f64> = a.iter().zip(&effect).map(|(x, e)| x + e).collect();
+        let b2: Vec<f64> = base.iter().zip(&effect).map(|(x, e)| x + e).collect();
+        let shifted = paired_t_test(&a2, &b2).unwrap();
+        prop_assert!((shifted.t_statistic - ab.t_statistic).abs() < 1e-7);
+    }
+
+    /// Wilcoxon p-values live in [0, 1] and a strictly positive constant
+    /// shift is detected once n is moderate.
+    #[test]
+    fn wilcoxon_detects_shift(base in prop::collection::vec(0.0f64..1.0, 20..60)) {
+        let shifted: Vec<f64> = base.iter().map(|x| x + 0.5).collect();
+        let r = wilcoxon_signed_rank(&shifted, &base).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert!(r.significant_at(0.01), "p = {}", r.p_value);
+    }
+
+    /// Bootstrap CI brackets the sample mean (up to percentile grid
+    /// granularity) and is deterministic in the seed.
+    #[test]
+    fn bootstrap_properties(values in prop::collection::vec(0.0f64..10.0, 10..80), seed in 0u64..1000) {
+        let spread = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-9);
+        let (lo, hi) = bootstrap_mean_ci(&values, 0.95, 400, seed).unwrap();
+        let m = mean(&values);
+        prop_assert!(lo <= m + 1e-9 && m <= hi + 1e-9, "[{lo},{hi}] vs {m}");
+        let again = bootstrap_mean_ci(&values, 0.95, 400, seed).unwrap();
+        prop_assert_eq!((lo, hi), again);
+    }
+}

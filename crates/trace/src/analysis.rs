@@ -1,0 +1,285 @@
+//! Descriptive statistics for availability traces.
+//!
+//! The paper's related-work section contrasts studies that assumed
+//! exponential availability with measurements showing heavy tails; this
+//! module provides the numbers that settle the question for any trace:
+//! moments, coefficient of variation (CV > 1 ⇒ heavier than exponential),
+//! lag autocorrelation (i.i.d.-ness of consecutive durations), the Hill
+//! tail-index estimator, and the empirical CDF.
+
+use crate::{AvailabilityTrace, Result, TraceError};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one duration sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of durations.
+    pub count: usize,
+    /// Arithmetic mean, seconds.
+    pub mean: f64,
+    /// Median, seconds.
+    pub median: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Coefficient of variation `σ/μ`; 1 for exponential data, > 1 for
+    /// hyperexponential-like (bursty) data.
+    pub cv: f64,
+    /// Minimum duration.
+    pub min: f64,
+    /// Maximum duration.
+    pub max: f64,
+    /// Lag-1 autocorrelation of consecutive durations.
+    pub lag1_autocorrelation: f64,
+}
+
+/// Compute [`TraceStats`] for a duration sample.
+pub fn stats(durations: &[f64]) -> Result<TraceStats> {
+    if durations.len() < 2 {
+        return Err(TraceError::SplitTooLarge {
+            requested: 2,
+            available: durations.len(),
+        });
+    }
+    let n = durations.len() as f64;
+    let mean = durations.iter().sum::<f64>() / n;
+    let var = durations
+        .iter()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / (n - 1.0);
+    let std_dev = var.sqrt();
+    let mut sorted = durations.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
+    };
+    Ok(TraceStats {
+        count: durations.len(),
+        mean,
+        median,
+        std_dev,
+        cv: if mean > 0.0 { std_dev / mean } else { 0.0 },
+        min: sorted[0],
+        max: *sorted.last().expect("nonempty"),
+        lag1_autocorrelation: autocorrelation(durations, 1),
+    })
+}
+
+/// Lag-`k` autocorrelation of a series (0 when undefined).
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    if xs.len() <= lag + 1 {
+        return 0.0;
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = (0..n - lag)
+        .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+        .sum();
+    cov / var
+}
+
+/// Hill estimator of the tail index using the top `k` order statistics:
+/// `α̂ = k / Σ_{i<k} ln(x_(n−i) / x_(n−k))`.
+///
+/// For Pareto-like tails `P(X > x) ~ x^{−α}` it estimates `α`; smaller
+/// values mean heavier tails. Exponential tails drift to large `α̂` as
+/// `k/n → 0`.
+///
+/// # Errors
+/// Needs at least `k + 1` strictly positive observations with `k ≥ 2`.
+pub fn hill_tail_index(durations: &[f64], k: usize) -> Result<f64> {
+    if k < 2 || durations.len() <= k {
+        return Err(TraceError::SplitTooLarge {
+            requested: k + 1,
+            available: durations.len(),
+        });
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("durations are finite")); // descending
+    let threshold = sorted[k];
+    if threshold <= 0.0 {
+        return Err(TraceError::InvalidObservation { index: k });
+    }
+    let sum: f64 = sorted[..k].iter().map(|&x| (x / threshold).ln()).sum();
+    if sum <= 0.0 {
+        return Err(TraceError::InvalidObservation { index: 0 });
+    }
+    Ok(k as f64 / sum)
+}
+
+/// Empirical CDF evaluated at `x` over the sample.
+pub fn empirical_cdf(durations: &[f64], x: f64) -> f64 {
+    if durations.is_empty() {
+        return 0.0;
+    }
+    let below = durations.iter().filter(|&&d| d <= x).count();
+    below as f64 / durations.len() as f64
+}
+
+/// A simple log-spaced histogram of durations (for terminal display and
+/// sanity-checking pool calibration).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Bin edges (seconds), ascending; `counts.len() == edges.len() - 1`.
+    pub edges: Vec<f64>,
+    /// Observations per bin.
+    pub counts: Vec<usize>,
+}
+
+/// Build a histogram with `bins` log-spaced bins spanning the data.
+pub fn log_histogram(durations: &[f64], bins: usize) -> Result<LogHistogram> {
+    if durations.is_empty() || bins == 0 {
+        return Err(TraceError::SplitTooLarge {
+            requested: 1,
+            available: 0,
+        });
+    }
+    let min = durations
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-9);
+    let max = durations
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(min * (1.0 + 1e-9));
+    let ratio = (max / min).powf(1.0 / bins as f64);
+    let mut edges = Vec::with_capacity(bins + 1);
+    let mut e = min;
+    for _ in 0..=bins {
+        edges.push(e);
+        e *= ratio;
+    }
+    let mut counts = vec![0usize; bins];
+    for &d in durations {
+        let idx = if d <= min {
+            0
+        } else {
+            (((d / min).ln() / ratio.ln()).floor() as usize).min(bins - 1)
+        };
+        counts[idx] += 1;
+    }
+    Ok(LogHistogram { edges, counts })
+}
+
+/// Full per-machine report used by the `gof_report` experiment binary.
+pub fn trace_report(trace: &AvailabilityTrace) -> Result<TraceStats> {
+    stats(&trace.durations())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::known_weibull_trace;
+
+    #[test]
+    fn stats_hand_computed() {
+        let s = stats(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!((s.min - 1.0).abs() < 1e-12);
+        assert!((s.max - 4.0).abs() < 1e-12);
+        // var = (2.25+0.25+0.25+2.25)/3 = 5/3
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_needs_two() {
+        assert!(stats(&[1.0]).is_err());
+        assert!(stats(&[]).is_err());
+    }
+
+    #[test]
+    fn exponential_data_cv_near_one() {
+        use chs_dist::AvailabilityModel;
+        use rand::SeedableRng;
+        let d = chs_dist::Exponential::from_mean(1_000.0).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let s = stats(&xs).unwrap();
+        assert!((s.cv - 1.0).abs() < 0.05, "cv = {}", s.cv);
+        assert!(s.lag1_autocorrelation.abs() < 0.03);
+    }
+
+    #[test]
+    fn heavy_tail_cv_exceeds_one() {
+        let trace = known_weibull_trace(0.43, 3_409.0, 20_000, 2);
+        let s = stats(&trace.durations()).unwrap();
+        // Weibull(0.43) has CV ≈ 2.6.
+        assert!(s.cv > 1.8, "cv = {}", s.cv);
+    }
+
+    #[test]
+    fn autocorrelation_detects_trend() {
+        let trending: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        assert!(autocorrelation(&trending, 1) > 0.9);
+        let constant = vec![5.0; 100];
+        assert_eq!(autocorrelation(&constant, 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 1), 0.0);
+    }
+
+    #[test]
+    fn hill_estimator_on_pareto() {
+        // Pareto(α = 2): X = U^{-1/2}.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| rng.gen::<f64>().max(1e-12).powf(-0.5))
+            .collect();
+        let alpha = hill_tail_index(&xs, 2_000).unwrap();
+        assert!((alpha - 2.0).abs() < 0.15, "alpha = {alpha}");
+    }
+
+    #[test]
+    fn hill_light_tail_larger_than_heavy() {
+        use chs_dist::AvailabilityModel;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        let heavy = known_weibull_trace(0.43, 3_409.0, 20_000, 4).durations();
+        let light_dist = chs_dist::Weibull::new(2.0, 3_409.0).unwrap();
+        let light: Vec<f64> = (0..20_000).map(|_| light_dist.sample(&mut rng)).collect();
+        let a_heavy = hill_tail_index(&heavy, 500).unwrap();
+        let a_light = hill_tail_index(&light, 500).unwrap();
+        assert!(a_light > a_heavy, "light {a_light} !> heavy {a_heavy}");
+    }
+
+    #[test]
+    fn hill_domain_errors() {
+        assert!(hill_tail_index(&[1.0, 2.0], 2).is_err());
+        assert!(hill_tail_index(&[1.0, 2.0, 3.0], 1).is_err());
+    }
+
+    #[test]
+    fn empirical_cdf_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(empirical_cdf(&xs, 0.5), 0.0);
+        assert_eq!(empirical_cdf(&xs, 2.0), 0.5);
+        assert_eq!(empirical_cdf(&xs, 10.0), 1.0);
+        assert_eq!(empirical_cdf(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_conserves_count() {
+        let trace = known_weibull_trace(0.43, 3_409.0, 5_000, 5);
+        let h = log_histogram(&trace.durations(), 20).unwrap();
+        assert_eq!(h.counts.iter().sum::<usize>(), 5_000);
+        assert_eq!(h.edges.len(), 21);
+        for w in h.edges.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn histogram_rejects_empty() {
+        assert!(log_histogram(&[], 10).is_err());
+        assert!(log_histogram(&[1.0], 0).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Compare the four availability models on one machine trace: goodness
+//! of fit, the schedules they produce, and the efficiency/bandwidth they
+//! achieve in simulation — the paper's §5.1 pipeline in miniature.
+//!
+//! ```text
+//! cargo run --release --example model_comparison
+//! ```
+
+use cycle_harvest::dist::fit::fit_model;
+use cycle_harvest::dist::{gof, ModelKind};
+use cycle_harvest::markov::CheckpointCosts;
+use cycle_harvest::sim::{simulate_trace, CachedPolicy, SimConfig};
+use cycle_harvest::trace::synthetic::{generate_machine, PoolConfig};
+use cycle_harvest::trace::PAPER_TRAIN_LEN;
+
+fn main() {
+    // One synthetic Condor machine with 225 recorded availability
+    // durations (the pool generator's default trace length).
+    let config = PoolConfig {
+        seed: 42,
+        ..PoolConfig::default()
+    };
+    let machine = generate_machine(&config, 7);
+    let trace = &machine.trace;
+    let (train, test) = trace.split(PAPER_TRAIN_LEN).expect("long enough");
+    println!(
+        "machine {} — ground truth {:?}, {} training + {} experimental durations",
+        trace.machine,
+        variant_name(&machine.ground_truth),
+        train.len(),
+        test.len()
+    );
+
+    let c = 250.0;
+    let max_age = test.iter().cloned().fold(0.0f64, f64::max);
+    println!("\ncheckpoint cost C = R = {c} s, 500 MB images\n");
+    println!(
+        "{:>20} {:>10} {:>10} {:>8} {:>10} {:>12}",
+        "model", "logLik", "KS", "KS p", "efficiency", "megabytes"
+    );
+    for kind in ModelKind::PAPER_SET {
+        let fit = match fit_model(kind, &train) {
+            Ok(f) => f,
+            Err(e) => {
+                println!("{:>20}  fit failed: {e}", kind.label());
+                continue;
+            }
+        };
+        let score = gof::score(&fit, &test).expect("scorable");
+        let policy = CachedPolicy::new(fit, CheckpointCosts::symmetric(c), max_age);
+        let result = simulate_trace(&test, &policy, &SimConfig::paper(c)).expect("simulate");
+        println!(
+            "{:>20} {:>10.1} {:>10.3} {:>8.3} {:>10.3} {:>12.0}",
+            kind.label(),
+            score.log_likelihood,
+            score.ks,
+            score.ks_p,
+            result.efficiency(),
+            result.megabytes
+        );
+    }
+    println!(
+        "\nthe models achieve similar efficiency but move very different amounts\n\
+         of data — the paper's headline observation."
+    );
+}
+
+fn variant_name(gt: &cycle_harvest::trace::synthetic::GroundTruth) -> &'static str {
+    use cycle_harvest::trace::synthetic::GroundTruth::*;
+    match gt {
+        Weibull(_) => "heavy-tailed Weibull",
+        Bimodal(_) => "bimodal hyperexponential",
+        Memoryless(_) => "memoryless exponential",
+        Diurnal { .. } => "diurnal bimodal",
+    }
+}

@@ -1,0 +1,65 @@
+//! Explore how the optimal work interval responds to machine age and
+//! checkpoint cost for the paper's exemplar machine
+//! (Weibull shape 0.43, scale 3409).
+//!
+//! ```text
+//! cargo run --release --example schedule_explorer
+//! ```
+
+use cycle_harvest::dist::Weibull;
+use cycle_harvest::markov::{CheckpointCosts, VaidyaModel};
+
+fn main() {
+    let machine = Weibull::paper_exemplar();
+    println!(
+        "exemplar machine: Weibull(shape {}, scale {}) — mean availability {:.0} s\n",
+        machine.shape(),
+        machine.scale(),
+        cycle_harvest::dist::AvailabilityModel::mean(&machine)
+    );
+
+    // T_opt as a function of machine age, for several checkpoint costs.
+    let ages = [0.0, 600.0, 3_600.0, 4.0 * 3_600.0, 86_400.0];
+    let costs = [50.0, 110.0, 475.0, 1_500.0];
+    println!("T_opt (seconds) by machine age and checkpoint cost:");
+    print!("{:>12}", "age \\ C");
+    for c in costs {
+        print!("{c:>10.0}");
+    }
+    println!();
+    for age in ages {
+        print!("{age:>12.0}");
+        for c in costs {
+            let model = VaidyaModel::new(&machine, CheckpointCosts::symmetric(c)).unwrap();
+            let opt = model.optimal_interval(age).unwrap();
+            print!("{:>10.0}", opt.work_seconds);
+        }
+        println!();
+    }
+
+    // The overhead-ratio curve the optimizer minimizes, at one setting.
+    let c = 110.0;
+    let age = 3_600.0;
+    let model = VaidyaModel::new(&machine, CheckpointCosts::symmetric(c)).unwrap();
+    let opt = model.optimal_interval(age).unwrap();
+    println!(
+        "\noverhead ratio Γ(T)/T at C = {c} s, age = {age} s \
+         (minimum at T = {:.0} s, efficiency {:.3}):",
+        opt.work_seconds, opt.efficiency
+    );
+    for factor in [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let t = opt.work_seconds * factor;
+        let ratio = model.overhead_ratio(t, age);
+        let bar_len = (((ratio - 1.0) * 40.0).round() as usize).min(60);
+        println!(
+            "  T = {:>7.0} s  ratio {:>7.3}  {}",
+            t,
+            ratio,
+            "#".repeat(bar_len.max(1))
+        );
+    }
+    println!(
+        "\nefficiency is flat near the optimum but checkpoint *frequency* is not:\n\
+         longer intervals cut network load nearly in half at small efficiency cost."
+    );
+}

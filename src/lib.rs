@@ -1,0 +1,55 @@
+//! `cycle-harvest` — checkpoint scheduling for cycle-harvesting cluster
+//! environments.
+//!
+//! This is the umbrella crate of a workspace that reproduces
+//! *"Minimizing the Network Overhead of Checkpointing in Cycle-harvesting
+//! Cluster Environments"* (Nurmi, Brevik, Wolski — CLUSTER 2005). It
+//! re-exports the public API of every subsystem so downstream users can
+//! depend on one crate:
+//!
+//! * [`dist`] — availability distributions (exponential, Weibull,
+//!   hyperexponential), conditional future lifetimes, MLE/EM fitting.
+//! * [`markov`] — Vaidya's three-state checkpoint-interval model and the
+//!   `T_opt` schedule optimizer.
+//! * [`trace`] — availability traces and the synthetic Condor-pool
+//!   generator.
+//! * [`net`] — NWS-style network forecasting for checkpoint transfer
+//!   times.
+//! * [`sim`] — the trace-driven discrete-event simulator.
+//! * [`condor`] — a virtual-time Condor emulation (machines, negotiator,
+//!   Vanilla-universe jobs, checkpoint manager).
+//! * [`stats`] — confidence intervals, paired t-tests, significance
+//!   tables.
+//! * [`core`] — the high-level [`core::CheckpointScheduler`] facade.
+//! * [`numerics`] — the numerical kernel underpinning everything.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cycle_harvest::core::{CheckpointScheduler, SchedulerConfig};
+//! use cycle_harvest::dist::ModelKind;
+//!
+//! // Historical availability durations for one machine (seconds).
+//! let history = vec![1200.0, 300.0, 86_400.0, 4_500.0, 600.0, 30_000.0,
+//!                    900.0, 2_000.0, 1_500.0, 60_000.0, 450.0, 700.0];
+//!
+//! let scheduler = CheckpointScheduler::fit(
+//!     &history,
+//!     ModelKind::Weibull,
+//!     SchedulerConfig { checkpoint_cost: 110.0, recovery_cost: 110.0, ..Default::default() },
+//! ).expect("fit");
+//!
+//! // Machine has been up 600 s: first optimal work interval.
+//! let t0 = scheduler.next_interval(600.0).expect("optimize");
+//! assert!(t0.work_seconds > 0.0);
+//! ```
+
+pub use chs_condor as condor;
+pub use chs_core as core;
+pub use chs_dist as dist;
+pub use chs_markov as markov;
+pub use chs_net as net;
+pub use chs_numerics as numerics;
+pub use chs_sim as sim;
+pub use chs_stats as stats;
+pub use chs_trace as trace;

@@ -1,0 +1,145 @@
+//! Optimality integration tests: the model-driven `T_opt` policy must
+//! beat (or tie) fixed-interval baselines in *simulation over ground
+//! truth*, not just analytically — closing the loop between the Markov
+//! model and the discrete-event simulator.
+
+use cycle_harvest::dist::{AvailabilityModel, FittedModel, Weibull};
+use cycle_harvest::markov::CheckpointCosts;
+use cycle_harvest::sim::{simulate_trace, CachedPolicy, FixedIntervalPolicy, SimConfig};
+use rand::SeedableRng;
+
+fn weibull_trace(n: usize, seed: u64) -> Vec<f64> {
+    let truth = Weibull::paper_exemplar();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| truth.sample(&mut rng).max(1.0)).collect()
+}
+
+#[test]
+fn t_opt_policy_beats_naive_fixed_intervals() {
+    let durations = weibull_trace(3_000, 1);
+    let c = 250.0;
+    let config = SimConfig::paper(c);
+    let max_age = durations.iter().cloned().fold(0.0f64, f64::max);
+
+    // Oracle policy: the true distribution.
+    let truth = FittedModel::Weibull(Weibull::paper_exemplar());
+    let oracle = CachedPolicy::new(truth, CheckpointCosts::symmetric(c), max_age);
+    let oracle_eff = simulate_trace(&durations, &oracle, &config)
+        .unwrap()
+        .efficiency();
+
+    // Naive baselines: checkpoint way too often / way too rarely.
+    for fixed in [60.0, 30_000.0] {
+        let baseline = FixedIntervalPolicy { interval: fixed };
+        let eff = simulate_trace(&durations, &baseline, &config)
+            .unwrap()
+            .efficiency();
+        assert!(
+            oracle_eff > eff,
+            "T_opt policy ({oracle_eff:.3}) should beat fixed {fixed} s ({eff:.3})"
+        );
+    }
+}
+
+#[test]
+fn t_opt_policy_is_near_best_fixed_interval() {
+    // Sweep fixed intervals; the aperiodic T_opt policy should be within
+    // a few percent of the best *constant* policy (and usually above it,
+    // since it adapts to age).
+    let durations = weibull_trace(2_000, 2);
+    let c = 110.0;
+    let config = SimConfig::paper(c);
+    let max_age = durations.iter().cloned().fold(0.0f64, f64::max);
+
+    let truth = FittedModel::Weibull(Weibull::paper_exemplar());
+    let oracle = CachedPolicy::new(truth, CheckpointCosts::symmetric(c), max_age);
+    let oracle_eff = simulate_trace(&durations, &oracle, &config)
+        .unwrap()
+        .efficiency();
+
+    let mut best_fixed: f64 = 0.0;
+    for factor in 1..40 {
+        let fixed = FixedIntervalPolicy {
+            interval: 150.0 * factor as f64,
+        };
+        let eff = simulate_trace(&durations, &fixed, &config)
+            .unwrap()
+            .efficiency();
+        best_fixed = best_fixed.max(eff);
+    }
+    assert!(
+        oracle_eff > best_fixed - 0.02,
+        "T_opt ({oracle_eff:.3}) should be within 0.02 of the best fixed policy \
+         ({best_fixed:.3})"
+    );
+}
+
+#[test]
+fn fitted_policy_close_to_oracle() {
+    // Fitting on a 25-duration prefix (the paper's training size) should
+    // cost only a few points of efficiency versus knowing the truth.
+    let durations = weibull_trace(2_000, 3);
+    let c = 500.0;
+    let config = SimConfig::paper(c);
+    let (train, test) = durations.split_at(25);
+    let max_age = test.iter().cloned().fold(0.0f64, f64::max);
+
+    let truth = FittedModel::Weibull(Weibull::paper_exemplar());
+    let oracle = CachedPolicy::new(truth, CheckpointCosts::symmetric(c), max_age);
+    let oracle_eff = simulate_trace(test, &oracle, &config).unwrap().efficiency();
+
+    let fitted =
+        cycle_harvest::dist::fit::fit_model(cycle_harvest::dist::ModelKind::Weibull, train)
+            .unwrap();
+    let policy = CachedPolicy::new(fitted, CheckpointCosts::symmetric(c), max_age);
+    let fitted_eff = simulate_trace(test, &policy, &config).unwrap().efficiency();
+
+    assert!(
+        fitted_eff > oracle_eff - 0.05,
+        "25-sample fit ({fitted_eff:.3}) should be within 0.05 of oracle ({oracle_eff:.3})"
+    );
+}
+
+#[test]
+fn simulated_efficiency_converges_to_analytic_prediction() {
+    // Steady-state check at a *fixed* T on exponential ground truth: the
+    // simulator's efficiency must converge to T/Γ(T) because every
+    // segment is statistically identical and memoryless.
+    use cycle_harvest::dist::Exponential;
+    use cycle_harvest::markov::VaidyaModel;
+
+    let truth = Exponential::from_mean(3_600.0).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+    let durations: Vec<f64> = (0..60_000)
+        .map(|_| truth.sample(&mut rng).max(1e-3))
+        .collect();
+    let c = 110.0;
+    let t = 900.0;
+
+    let model = VaidyaModel::new(&truth, CheckpointCosts::symmetric(c)).unwrap();
+    let analytic = model.efficiency(t, 0.0);
+
+    let policy = FixedIntervalPolicy { interval: t };
+    let sim = simulate_trace(&durations, &policy, &SimConfig::paper(c)).unwrap();
+    let diff = (sim.efficiency() - analytic).abs();
+    assert!(
+        diff < 0.02,
+        "simulated {:.4} vs analytic {:.4} (diff {diff:.4})",
+        sim.efficiency(),
+        analytic
+    );
+}
+
+#[test]
+fn moment_fit_schedules_are_usable() {
+    // The closed-form two-moment H2 fit (the fast path) produces sane
+    // schedules even though it ignores everything past the second moment.
+    use cycle_harvest::dist::fit::fit_hyperexp2_moments;
+    use cycle_harvest::markov::VaidyaModel;
+    let durations = weibull_trace(500, 9);
+    let fit = fit_hyperexp2_moments(&durations).unwrap();
+    let m = VaidyaModel::new(&fit, CheckpointCosts::symmetric(110.0)).unwrap();
+    let opt = m.optimal_interval(0.0).unwrap();
+    assert!(opt.work_seconds > 0.0 && opt.work_seconds.is_finite());
+    assert!(opt.efficiency > 0.2, "eff {}", opt.efficiency);
+}

@@ -1,0 +1,107 @@
+//! Integration test of the production path: record history → persist →
+//! reload → fit → schedule, plus determinism and cost-update behaviour.
+
+use cycle_harvest::core::{CheckpointScheduler, CostEstimator, HistoryStore, SchedulerConfig};
+use cycle_harvest::dist::ModelKind;
+use cycle_harvest::trace::io::{pool_from_json, pool_to_json};
+use cycle_harvest::trace::synthetic::{generate_pool, PoolConfig};
+use cycle_harvest::trace::MachineId;
+
+#[test]
+fn record_persist_reload_schedule() {
+    // Record a pool's observations into the store.
+    let pool = generate_pool(&PoolConfig::small(4, 80, 33)).as_machine_pool();
+    let mut store = HistoryStore::new();
+    store.import_pool(&pool);
+
+    // Persist and reload through JSON.
+    let json = pool_to_json(&store.to_pool()).unwrap();
+    let reloaded = pool_from_json(&json).unwrap();
+    let mut store2 = HistoryStore::new();
+    store2.import_pool(&reloaded);
+
+    // Fit + schedule from both stores must agree exactly.
+    let machine = pool.traces()[0].machine;
+    let cfg = SchedulerConfig {
+        checkpoint_cost: 110.0,
+        recovery_cost: 110.0,
+        ..Default::default()
+    };
+    let s1 = store
+        .scheduler_for(machine, ModelKind::Weibull, cfg)
+        .unwrap();
+    let s2 = store2
+        .scheduler_for(machine, ModelKind::Weibull, cfg)
+        .unwrap();
+    let t1 = s1.next_interval(300.0).unwrap().work_seconds;
+    let t2 = s2.next_interval(300.0).unwrap().work_seconds;
+    assert_eq!(t1, t2, "persistence must not perturb schedules");
+}
+
+#[test]
+fn scheduler_serde_preserves_schedules() {
+    let pool = generate_pool(&PoolConfig::small(1, 120, 44)).as_machine_pool();
+    let durations = pool.traces()[0].durations();
+    let s = CheckpointScheduler::fit(
+        &durations,
+        ModelKind::HyperExponential { phases: 2 },
+        SchedulerConfig::default(),
+    )
+    .unwrap();
+    let json = serde_json::to_string(&s).unwrap();
+    let back: CheckpointScheduler = serde_json::from_str(&json).unwrap();
+    let a = s.schedule(0.0, 50_000.0, 8).unwrap();
+    let b = back.schedule(0.0, 50_000.0, 8).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.entries().iter().zip(b.entries()) {
+        assert!((x.interval.work_seconds - y.interval.work_seconds).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn estimator_feeds_scheduler() {
+    // Live loop: measure transfers, update the scheduler's costs, observe
+    // the interval respond.
+    let pool = generate_pool(&PoolConfig::small(1, 100, 55)).as_machine_pool();
+    let durations = pool.traces()[0].durations();
+    let mut scheduler =
+        CheckpointScheduler::fit(&durations, ModelKind::Weibull, SchedulerConfig::default())
+            .unwrap();
+
+    let mut estimator = CostEstimator::new(110.0);
+    for c in [100.0, 115.0, 108.0, 112.0] {
+        estimator.observe_checkpoint(c);
+    }
+    scheduler
+        .update_costs(estimator.checkpoint_cost(), estimator.recovery_cost())
+        .unwrap();
+    let campus_t = scheduler.next_interval(0.0).unwrap().work_seconds;
+
+    // Path degrades to wide-area speeds.
+    for c in [480.0, 470.0, 465.0, 490.0, 475.0, 471.0, 484.0] {
+        estimator.observe_checkpoint(c);
+    }
+    scheduler
+        .update_costs(estimator.checkpoint_cost(), estimator.recovery_cost())
+        .unwrap();
+    let wan_t = scheduler.next_interval(0.0).unwrap().work_seconds;
+
+    assert!(
+        wan_t > campus_t,
+        "wide-area costs should lengthen intervals: {campus_t} vs {wan_t}"
+    );
+}
+
+#[test]
+fn store_accumulates_across_sessions() {
+    let mut store = HistoryStore::new();
+    let m = MachineId(5);
+    for i in 0..30 {
+        store.record(m, i as f64 * 10_000.0, 500.0 + 100.0 * (i % 7) as f64);
+    }
+    assert_eq!(store.observation_count(m), 30);
+    let s = store
+        .scheduler_for(m, ModelKind::Exponential, SchedulerConfig::default())
+        .unwrap();
+    assert!(s.next_interval(0.0).unwrap().work_seconds > 0.0);
+}
