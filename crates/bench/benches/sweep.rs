@@ -1,0 +1,42 @@
+//! Criterion benchmark for the pool sweep itself: `prepare_experiments`
+//! plus the flattened [`sweep_paper_grid`] against the serial cold-search
+//! [`sweep_paper_grid_reference`], at a small fixed pool so the pair can
+//! run under criterion's repetition budget. The `sweep_bench` binary
+//! covers the `--quick`/default/`--full` scales and writes
+//! `BENCH_sweep.json`; this bench exists to catch relative regressions in
+//! CI-sized runs.
+
+use chs_bench::{prepare_pool, CommonArgs};
+use chs_sim::sweep::PAPER_C_GRID;
+use chs_sim::{sweep_paper_grid, sweep_paper_grid_reference};
+use chs_trace::synthetic::generate_pool;
+use chs_trace::PAPER_TRAIN_LEN;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_sweep(c: &mut Criterion) {
+    let args = CommonArgs {
+        machines: 6,
+        observations: 75,
+        ..Default::default()
+    };
+    let experiments = prepare_pool(&args);
+    assert!(!experiments.is_empty());
+
+    let mut group = c.benchmark_group("pool_sweep");
+    group.sample_size(10);
+    group.bench_function("prepare_experiments_6", |b| {
+        let pool = generate_pool(&args.pool_config()).as_machine_pool();
+        b.iter(|| chs_sim::prepare_experiments(black_box(&pool), PAPER_TRAIN_LEN))
+    });
+    group.bench_function("paper_grid_optimized_6", |b| {
+        b.iter(|| sweep_paper_grid(black_box(&experiments), &PAPER_C_GRID, 500.0))
+    });
+    group.bench_function("paper_grid_reference_6", |b| {
+        b.iter(|| sweep_paper_grid_reference(black_box(&experiments), &PAPER_C_GRID, 500.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -10,7 +10,6 @@
 //! ```
 
 use chs_bench::{maybe_dump_json, CommonArgs, TablePrinter};
-use chs_net::forecast::Forecaster;
 use chs_net::timevary::{evaluate_forecasters, standard_battery, DiurnalPath};
 use chs_net::{AdaptiveForecaster, NetworkPath, TransferModel};
 use rand::SeedableRng;

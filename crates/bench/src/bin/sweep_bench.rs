@@ -1,0 +1,225 @@
+//! Wall-clock benchmark for the flattened pool sweep: times
+//! `prepare_experiments` plus the optimized [`sweep_paper_grid`] against
+//! the serial cold-search [`sweep_paper_grid_reference`] (the structure
+//! and cost profile the sweep had before the flat fan-out), and verifies
+//! the two grids agree cell-by-cell.
+//!
+//! ```text
+//! cargo run -p chs-bench --release --features bench-counters --bin sweep_bench \
+//!     [--quick | --full] [--json PATH]
+//! ```
+//!
+//! Results are written to `BENCH_sweep.json` (override with `--json`).
+//! With the `bench-counters` feature the report also includes Γ-evaluation
+//! counts and fresh-quantity memo hit rates for both paths; without it
+//! those fields are zero and `counters_enabled` is false.
+
+use chs_bench::{prepare_pool, CommonArgs, TablePrinter};
+use chs_sim::sweep::PAPER_C_GRID;
+use chs_sim::{
+    sweep_paper_grid, sweep_paper_grid_reference, sweep_paper_grid_serial, MachineExperiment,
+    SweepGrid,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+#[cfg(feature = "bench-counters")]
+fn counters_reset() {
+    chs_markov::counters::reset();
+}
+
+#[cfg(not(feature = "bench-counters"))]
+fn counters_reset() {}
+
+/// (Γ evaluations, fresh-memo hits, fresh-memo misses).
+#[cfg(feature = "bench-counters")]
+fn counters_snapshot() -> (u64, u64, u64) {
+    chs_markov::counters::snapshot()
+}
+
+#[cfg(not(feature = "bench-counters"))]
+fn counters_snapshot() -> (u64, u64, u64) {
+    (0, 0, 0)
+}
+
+#[derive(Debug, Serialize)]
+struct PathReport {
+    seconds: f64,
+    machines_per_second: f64,
+    gamma_evaluations: u64,
+    fresh_memo_hits: u64,
+    fresh_memo_misses: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct SweepBenchReport {
+    machines_requested: usize,
+    machines_usable: usize,
+    observations_per_machine: usize,
+    seed: u64,
+    c_values: usize,
+    models: usize,
+    work_items: usize,
+    prepare_seconds: f64,
+    optimized: PathReport,
+    reference: PathReport,
+    speedup: f64,
+    /// Deviation from the serial warm-fill sweep (identical numerics,
+    /// old orchestration). The fan-out must reproduce this bitwise, so
+    /// these are required to be ≤ 1e-9 — the run aborts otherwise.
+    max_rel_dev_vs_serial_efficiency: f64,
+    max_rel_dev_vs_serial_megabytes: f64,
+    /// Deviation from the cold-search reference, recorded as measured.
+    /// T_opt tables agree only to the optimizer's plateau width (~1e-8
+    /// relative), and the discrete-event simulation is discontinuous in
+    /// T — a sub-ppm interval shift can flip whether a checkpoint commits
+    /// before a failure — so per-machine outputs can differ at the
+    /// percent level even though both policies are equally optimal.
+    max_rel_dev_vs_cold_efficiency: f64,
+    max_rel_dev_vs_cold_megabytes: f64,
+    counters_enabled: bool,
+}
+
+fn time_sweep<F: FnOnce() -> SweepGrid>(f: F) -> (SweepGrid, f64, (u64, u64, u64)) {
+    counters_reset();
+    let t0 = Instant::now();
+    let grid = f();
+    let secs = t0.elapsed().as_secs_f64();
+    (grid, secs, counters_snapshot())
+}
+
+fn path_report(secs: f64, counters: (u64, u64, u64), machines: usize) -> PathReport {
+    PathReport {
+        seconds: secs,
+        machines_per_second: machines as f64 / secs.max(1e-12),
+        gamma_evaluations: counters.0,
+        fresh_memo_hits: counters.1,
+        fresh_memo_misses: counters.2,
+    }
+}
+
+/// Max relative per-entry deviation between two grids' per-machine
+/// efficiency and megabyte vectors.
+fn max_rel_dev(a: &SweepGrid, b: &SweepGrid) -> (f64, f64) {
+    let rel = |x: f64, y: f64| (x - y).abs() / x.abs().max(y.abs()).max(1e-300);
+    let (mut d_eff, mut d_mb) = (0.0f64, 0.0f64);
+    for (row_a, row_b) in a.cells.iter().zip(&b.cells) {
+        for (ca, cb) in row_a.iter().zip(row_b) {
+            for (&x, &y) in ca.efficiency.iter().zip(&cb.efficiency) {
+                d_eff = d_eff.max(rel(x, y));
+            }
+            for (&x, &y) in ca.megabytes.iter().zip(&cb.megabytes) {
+                d_mb = d_mb.max(rel(x, y));
+            }
+        }
+    }
+    (d_eff, d_mb)
+}
+
+fn main() {
+    let mut args = CommonArgs::parse();
+    let json_path = args
+        .json
+        .take()
+        .unwrap_or_else(|| "BENCH_sweep.json".into());
+
+    let t0 = Instant::now();
+    let experiments: Vec<MachineExperiment> = prepare_pool(&args);
+    let prepare_seconds = t0.elapsed().as_secs_f64();
+    let machines = experiments.len();
+    let work_items = machines * PAPER_C_GRID.len() * chs_dist::ModelKind::PAPER_SET.len();
+
+    eprintln!("timing reference sweep (serial, cold T_opt search) ...");
+    let (ref_grid, ref_secs, ref_counters) =
+        time_sweep(|| sweep_paper_grid_reference(&experiments, &PAPER_C_GRID, 500.0));
+
+    eprintln!("timing optimized sweep (flat fan-out, warm-started fill) ...");
+    let (opt_grid, opt_secs, opt_counters) =
+        time_sweep(|| sweep_paper_grid(&experiments, &PAPER_C_GRID, 500.0));
+
+    eprintln!("running serial warm-fill sweep for the identity check ...");
+    let serial_grid = sweep_paper_grid_serial(&experiments, &PAPER_C_GRID, 500.0);
+
+    let (ser_eff, ser_mb) = max_rel_dev(&opt_grid, &serial_grid);
+    if ser_eff > 1e-9 || ser_mb > 1e-9 {
+        eprintln!(
+            "FAIL: flat fan-out diverged from the serial sweep \
+             (efficiency {ser_eff:.3e}, megabytes {ser_mb:.3e} > 1e-9)"
+        );
+        std::process::exit(1);
+    }
+    let (dev_eff, dev_mb) = max_rel_dev(&opt_grid, &ref_grid);
+    let report = SweepBenchReport {
+        machines_requested: args.machines,
+        machines_usable: machines,
+        observations_per_machine: args.observations,
+        seed: args.seed,
+        c_values: PAPER_C_GRID.len(),
+        models: chs_dist::ModelKind::PAPER_SET.len(),
+        work_items,
+        prepare_seconds,
+        optimized: path_report(opt_secs, opt_counters, machines),
+        reference: path_report(ref_secs, ref_counters, machines),
+        speedup: ref_secs / opt_secs.max(1e-12),
+        max_rel_dev_vs_serial_efficiency: ser_eff,
+        max_rel_dev_vs_serial_megabytes: ser_mb,
+        max_rel_dev_vs_cold_efficiency: dev_eff,
+        max_rel_dev_vs_cold_megabytes: dev_mb,
+        counters_enabled: cfg!(feature = "bench-counters"),
+    };
+
+    println!("\nsweep benchmark ({machines} machines, {work_items} work items)");
+    let printer = TablePrinter::new(vec![10, 10, 12, 14, 12, 12]);
+    printer.row(&[
+        "path".into(),
+        "secs".into(),
+        "mach/s".into(),
+        "gamma evals".into(),
+        "memo hits".into(),
+        "memo miss".into(),
+    ]);
+    printer.rule();
+    for (name, p) in [
+        ("reference", &report.reference),
+        ("optimized", &report.optimized),
+    ] {
+        printer.row(&[
+            name.into(),
+            format!("{:.3}", p.seconds),
+            format!("{:.1}", p.machines_per_second),
+            format!("{}", p.gamma_evaluations),
+            format!("{}", p.fresh_memo_hits),
+            format!("{}", p.fresh_memo_misses),
+        ]);
+    }
+    printer.rule();
+    println!(
+        "prepare: {:.3} s  |  speedup: {:.2}x",
+        prepare_seconds, report.speedup
+    );
+    println!(
+        "identity vs serial sweep (must be <= 1e-9): efficiency {ser_eff:.3e}, \
+         megabytes {ser_mb:.3e}"
+    );
+    println!(
+        "deviation vs cold-search reference (plateau + event flips, recorded as \
+         measured): efficiency {dev_eff:.3e}, megabytes {dev_mb:.3e}"
+    );
+    if !report.counters_enabled {
+        println!("(rebuild with --features bench-counters for Γ/memo counts)");
+    }
+
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&json_path, json) {
+                eprintln!("could not write {json_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("report written to {json_path}");
+        }
+        Err(e) => {
+            eprintln!("could not serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -141,9 +141,12 @@ impl TablePrinter {
         println!("{}", line.join("  "));
     }
 
-    /// Print a separator rule.
+    /// Print a separator rule spanning all columns (plus the two-space
+    /// gutters between them). A printer with no columns prints an empty
+    /// rule rather than underflowing the gutter count.
     pub fn rule(&self) {
-        let total: usize = self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
+        let gutters = 2 * self.widths.len().saturating_sub(1);
+        let total: usize = self.widths.iter().sum::<usize>() + gutters;
         println!("{}", "-".repeat(total));
     }
 }
@@ -219,6 +222,15 @@ mod tests {
         assert!(a.json.is_none());
         assert_eq!(a.pool_config().machines, 96);
         assert_eq!(a.pool_config().seed, 2_005);
+    }
+
+    #[test]
+    fn rule_handles_zero_columns() {
+        // `widths.len() - 1` previously underflowed here and panicked in
+        // debug builds (wrapped to a ~usize::MAX repeat in release).
+        TablePrinter::new(Vec::new()).rule();
+        TablePrinter::new(vec![5]).rule();
+        TablePrinter::new(vec![3, 4]).rule();
     }
 
     #[test]

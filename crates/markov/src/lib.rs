@@ -40,6 +40,9 @@ pub use predict::{predict_steady_state, SteadyStatePrediction};
 pub use schedule::{Schedule, ScheduleEntry};
 pub use vaidya::{CheckpointCosts, IntervalQuantities, OptimalInterval, VaidyaModel};
 
+#[cfg(feature = "bench-counters")]
+pub use vaidya::counters;
+
 /// Errors from the checkpoint-interval optimizer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MarkovError {

@@ -3,6 +3,39 @@
 use crate::{MarkovError, Result};
 use chs_dist::{AvailabilityModel, FutureLifetime};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// Relaxed instrumentation counters, compiled in only with the
+/// `bench-counters` feature so the hot path stays branch-free in normal
+/// builds. The sweep benchmark reads these to report Γ-evaluation counts
+/// alongside wall-clock numbers.
+#[cfg(feature = "bench-counters")]
+pub mod counters {
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    /// Total Γ(T) evaluations since the last [`reset`].
+    pub static GAMMA_EVALS: AtomicU64 = AtomicU64::new(0);
+    /// Fresh-quantity memo hits since the last [`reset`].
+    pub static FRESH_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+    /// Fresh-quantity memo misses (full recomputations) since [`reset`].
+    pub static FRESH_MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+
+    /// Zero all counters.
+    pub fn reset() {
+        GAMMA_EVALS.store(0, Relaxed);
+        FRESH_MEMO_HITS.store(0, Relaxed);
+        FRESH_MEMO_MISSES.store(0, Relaxed);
+    }
+
+    /// `(gamma_evals, fresh_memo_hits, fresh_memo_misses)` right now.
+    pub fn snapshot() -> (u64, u64, u64) {
+        (
+            GAMMA_EVALS.load(Relaxed),
+            FRESH_MEMO_HITS.load(Relaxed),
+            FRESH_MEMO_MISSES.load(Relaxed),
+        )
+    }
+}
 
 /// Phase costs of the recovery–work–checkpoint cycle, all in seconds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -91,14 +124,40 @@ pub struct OptimalInterval {
     pub efficiency: f64,
 }
 
+/// The age-independent half of [`IntervalQuantities`]: what a *fresh*
+/// machine (age 0, i.e. right after a failure) does with the retry
+/// horizon `L + R + T`. `k21` is the horizon itself and `p22 = 1 − p21`,
+/// so only the two integrals are stored.
+#[derive(Debug, Clone, Copy)]
+struct FreshQuantities {
+    p21: f64,
+    k22: f64,
+}
+
+/// Capacity of the fresh-quantity memo. Sized to hold every distinct `T`
+/// one `T_opt` search (golden section plus parabolic polish) touches, so
+/// the post-search Γ re-evaluation and the bounded search's repeated
+/// boundary probes always hit.
+const FRESH_MEMO_CAPACITY: usize = 128;
+
 /// Vaidya's model bound to one availability distribution and one set of
 /// phase costs. Borrowing the distribution keeps the optimizer
 /// allocation-free; the schedule layer re-creates views as ages advance.
+///
+/// `p21`/`k21`/`p22`/`k22` depend only on the distribution and `C+R+L+T`,
+/// never on machine age, so they are memoized per candidate `T`: repeated
+/// Γ evaluations at the same `T` (boundary probes, post-search
+/// re-evaluation, grid fills across ages) pay for one conditional-survival
+/// evaluation instead of two. The memo is interior-mutable and exact
+/// (bit-identical to recomputation), so all `&self` methods keep their
+/// signatures and results.
 pub struct VaidyaModel<'a> {
     dist: &'a dyn AvailabilityModel,
     costs: CheckpointCosts,
     t_min: f64,
     t_max: f64,
+    fresh_memo: RefCell<Vec<(f64, FreshQuantities)>>,
+    memo_cursor: std::cell::Cell<usize>,
 }
 
 /// Default lower bound on the searched work interval (seconds): below
@@ -120,6 +179,8 @@ impl<'a> VaidyaModel<'a> {
             costs,
             t_min: DEFAULT_T_MIN,
             t_max,
+            fresh_memo: RefCell::new(Vec::with_capacity(FRESH_MEMO_CAPACITY)),
+            memo_cursor: std::cell::Cell::new(0),
         })
     }
 
@@ -148,6 +209,40 @@ impl<'a> VaidyaModel<'a> {
         self.costs
     }
 
+    /// State 2 entries use the unconditional distribution: a failure just
+    /// occurred, so the machine age restarts at zero. They depend only on
+    /// `t`, so look the pair up in the memo before integrating.
+    fn fresh_quantities(&self, t: f64, horizon21: f64) -> FreshQuantities {
+        {
+            let memo = self.fresh_memo.borrow();
+            if let Some(&(_, q)) = memo.iter().find(|&&(key, _)| key == t) {
+                #[cfg(feature = "bench-counters")]
+                counters::FRESH_MEMO_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return q;
+            }
+        }
+        #[cfg(feature = "bench-counters")]
+        counters::FRESH_MEMO_MISSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let fresh = FutureLifetime::new(self.dist, 0.0);
+        let p21 = fresh.survival(horizon21);
+        let k22 = if 1.0 - p21 > 0.0 {
+            fresh.truncated_mean(horizon21)
+        } else {
+            0.0
+        };
+        let q = FreshQuantities { p21, k22 };
+        let mut memo = self.fresh_memo.borrow_mut();
+        if memo.len() < FRESH_MEMO_CAPACITY {
+            memo.push((t, q));
+        } else {
+            // Full: overwrite round-robin, oldest-first.
+            let i = self.memo_cursor.get();
+            memo[i] = (t, q);
+            self.memo_cursor.set((i + 1) % FRESH_MEMO_CAPACITY);
+        }
+        q
+    }
+
     /// Transition probabilities and expected costs for work interval `t`
     /// on a machine of age `age`.
     pub fn quantities(&self, t: f64, age: f64) -> IntervalQuantities {
@@ -168,16 +263,7 @@ impl<'a> VaidyaModel<'a> {
             0.0
         };
 
-        // State 2 entries use the unconditional distribution: a failure
-        // just occurred, so the machine age restarts at zero.
-        let fresh = FutureLifetime::new(self.dist, 0.0);
-        let p21 = fresh.survival(horizon21);
-        let p22 = 1.0 - p21;
-        let k22 = if p22 > 0.0 {
-            fresh.truncated_mean(horizon21)
-        } else {
-            0.0
-        };
+        let FreshQuantities { p21, k22 } = self.fresh_quantities(t, horizon21);
 
         IntervalQuantities {
             p01,
@@ -186,7 +272,7 @@ impl<'a> VaidyaModel<'a> {
             k02,
             p21,
             k21: horizon21,
-            p22,
+            p22: 1.0 - p21,
             k22,
         }
     }
@@ -198,6 +284,8 @@ impl<'a> VaidyaModel<'a> {
     /// recovery + work + latency with positive probability (`P21 = 0`) —
     /// the retry loop never terminates.
     pub fn gamma(&self, t: f64, age: f64) -> f64 {
+        #[cfg(feature = "bench-counters")]
+        counters::GAMMA_EVALS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let q = self.quantities(t, age);
         if q.p02 <= 0.0 {
             return q.k01;
@@ -234,32 +322,75 @@ impl<'a> VaidyaModel<'a> {
     /// recommended for the Numerical Recipes `golden` routine we mirror).
     pub fn optimal_interval(&self, age: f64) -> Result<OptimalInterval> {
         let age = age.max(0.0);
-        let obj = |u: f64| {
+        let obj = self.log_objective(age);
+        let lo = self.t_min.ln();
+        let hi = self.t_max.ln();
+        let min = chs_numerics::optimize::minimize_bounded(&obj, lo, hi, 1e-9)?;
+        // Common floor-limited polish (see `spi_refine`): both this full
+        // search and the warm-started one end here, which is what makes
+        // their answers interchangeable at the ~1e-10 level.
+        let polished = chs_numerics::optimize::spi_refine(&obj, min.x, 2e-3, 12);
+        Ok(self.interval_at(polished.x.clamp(lo, hi).exp(), age))
+    }
+
+    /// [`VaidyaModel::optimal_interval`] warm-started from a nearby known
+    /// optimum (typically `T_opt` at an adjacent age on a policy grid).
+    ///
+    /// The search brackets `±ln 4` around the hint and refines by
+    /// successive parabolic interpolation, skipping the full-width golden
+    /// section — roughly a 3× cut in Γ evaluations. If the hint is
+    /// unusable or the refined point escapes toward the bracket edge
+    /// (i.e. the true optimum moved more than 4× — possible around the
+    /// hazard-mixture transitions of hyper-exponential fits), it falls
+    /// back to the full log-space bracket so the result always matches
+    /// what the cold search would have produced.
+    pub fn optimal_interval_near(&self, age: f64, hint: f64) -> Result<OptimalInterval> {
+        const LN_SPAN: f64 = 1.386_294_361_119_890_6; // ln 4
+        let age = age.max(0.0);
+        if !(hint.is_finite() && hint > 0.0) {
+            return self.optimal_interval(age);
+        }
+        let lo = self.t_min.ln();
+        let hi = self.t_max.ln();
+        let u0 = hint.ln().clamp(lo, hi);
+        let obj = self.log_objective(age);
+        let refined = chs_numerics::optimize::spi_refine(&obj, u0, 0.015, 12);
+        let escaped = (refined.x - u0).abs() > LN_SPAN - 0.05;
+        let at_edge = (refined.x - lo).abs() < 1e-3 && u0 - lo > 0.1
+            || (hi - refined.x).abs() < 1e-3 && hi - u0 > 0.1;
+        if escaped || at_edge || !refined.f.is_finite() {
+            return self.optimal_interval(age);
+        }
+        Ok(self.interval_at(refined.x.clamp(lo, hi).exp(), age))
+    }
+
+    /// The minimization objective: overhead ratio as a function of
+    /// `u = ln T`, with infinities capped so golden section (which cannot
+    /// compare infinities) is pushed away from the region.
+    fn log_objective(&self, age: f64) -> impl Fn(f64) -> f64 + '_ {
+        move |u: f64| {
             let r = self.overhead_ratio(u.exp(), age);
-            // Golden section cannot compare infinities; cap at a huge
-            // finite value so the search is pushed away from the region.
             if r.is_finite() {
                 r
             } else {
                 1e300
             }
-        };
-        let lo = self.t_min.ln();
-        let hi = self.t_max.ln();
-        let min = chs_numerics::optimize::minimize_bounded(obj, lo, hi, 1e-9)?;
-        let t_opt = min.x.exp();
+        }
+    }
+
+    /// Package the located `T_opt` into an [`OptimalInterval`].
+    fn interval_at(&self, t_opt: f64, age: f64) -> OptimalInterval {
         let gamma = self.gamma(t_opt, age);
-        let ratio = gamma / t_opt;
-        Ok(OptimalInterval {
+        OptimalInterval {
             work_seconds: t_opt,
             gamma,
-            overhead_ratio: ratio,
+            overhead_ratio: gamma / t_opt,
             efficiency: if gamma.is_finite() {
                 t_opt / gamma
             } else {
                 0.0
             },
-        })
+        }
     }
 }
 
@@ -473,6 +604,89 @@ mod tests {
             1e-12
         ));
         assert!(opt.overhead_ratio >= 1.0);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_search_weibull() {
+        let d = Weibull::paper_exemplar();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(110.0)).unwrap();
+        let mut hint = m.optimal_interval(0.0).unwrap().work_seconds;
+        let mut age = 1.0;
+        while age < 500_000.0 {
+            let cold = m.optimal_interval(age).unwrap();
+            let warm = m.optimal_interval_near(age, hint).unwrap();
+            let rel = (warm.work_seconds - cold.work_seconds).abs() / cold.work_seconds;
+            // 1e-6 is the honest bound for two *different* search paths:
+            // near the optimum the objective is numerically flat over a
+            // plateau of width ~sqrt(eps/curvature), so independent
+            // searches can only agree to that scale, not to 1e-9.
+            assert!(
+                rel < 1e-6,
+                "age {age}: warm {} vs cold {} (rel {rel:.3e})",
+                warm.work_seconds,
+                cold.work_seconds
+            );
+            hint = warm.work_seconds;
+            age *= 1.9;
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_search_hyperexp() {
+        // The adversarial family: T_opt moves by large factors across the
+        // mixture transition, exactly where a warm start could get stuck
+        // in a stale valley. The fallback must keep warm == cold.
+        let d = HyperExponential::new(&[(0.7, 1.0 / 300.0), (0.3, 1.0 / 30_000.0)]).unwrap();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(110.0)).unwrap();
+        let mut hint = m.optimal_interval(0.0).unwrap().work_seconds;
+        let mut age = 1.0;
+        while age < 200_000.0 {
+            let cold = m.optimal_interval(age).unwrap();
+            let warm = m.optimal_interval_near(age, hint).unwrap();
+            let rel = (warm.work_seconds - cold.work_seconds).abs() / cold.work_seconds;
+            // Plateau-limited agreement; see the Weibull variant above.
+            assert!(
+                rel < 1e-6,
+                "age {age}: warm {} vs cold {} (rel {rel:.3e})",
+                warm.work_seconds,
+                cold.work_seconds
+            );
+            hint = warm.work_seconds;
+            age *= 1.6;
+        }
+    }
+
+    #[test]
+    fn warm_start_bad_hints_fall_back() {
+        let d = Weibull::paper_exemplar();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(110.0)).unwrap();
+        let cold = m.optimal_interval(3_600.0).unwrap().work_seconds;
+        for hint in [f64::NAN, -5.0, 0.0, 1e-12, 1e12] {
+            let warm = m.optimal_interval_near(3_600.0, hint).unwrap().work_seconds;
+            assert!(
+                (warm - cold).abs() / cold < 1e-9,
+                "hint {hint}: warm {warm} vs cold {cold}"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_memo_is_value_transparent() {
+        // Evaluating the same (t, age) twice must return bit-identical
+        // quantities whether served from the memo or recomputed.
+        let d = Weibull::paper_exemplar();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(250.0)).unwrap();
+        let first = m.quantities(1_234.5, 77.0);
+        let second = m.quantities(1_234.5, 77.0);
+        assert_eq!(first, second);
+        // A fresh model with an empty memo agrees too.
+        let m2 = VaidyaModel::new(&d, CheckpointCosts::symmetric(250.0)).unwrap();
+        assert_eq!(m2.quantities(1_234.5, 77.0), first);
+        // Overflow the memo capacity and re-check an early key.
+        for i in 0..300 {
+            let _ = m.quantities(10.0 + i as f64, 77.0);
+        }
+        assert_eq!(m.quantities(1_234.5, 77.0), first);
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub mod timeline;
 pub use engine::{simulate_trace, SimConfig};
 pub use metrics::SimResult;
 pub use policy::{CachedPolicy, FixedIntervalPolicy, ModelPolicy, SchedulePolicy};
-pub use sweep::{prepare_experiments, sweep_paper_grid, MachineExperiment, SweepCell, SweepGrid};
+pub use sweep::{
+    prepare_experiments, sweep_paper_grid, sweep_paper_grid_reference, sweep_paper_grid_serial,
+    MachineExperiment, SweepCell, SweepGrid,
+};
 pub use timeline::{simulate_with_timeline, IntervalOutcome, SegmentRecord, Timeline};
 
 /// Errors from the simulator.

@@ -4,6 +4,7 @@
 use crate::{Result, SimError};
 use chs_dist::{AvailabilityModel, FittedModel};
 use chs_markov::{CheckpointCosts, VaidyaModel};
+use std::sync::Arc;
 
 /// Decides the next work interval given the machine's current age
 /// (seconds since the start of its current availability segment).
@@ -34,15 +35,22 @@ impl SchedulePolicy for FixedIntervalPolicy {
 /// The paper's policy: Vaidya `T_opt` from a fitted availability model,
 /// recomputed at the machine's current age (aperiodic for non-memoryless
 /// families).
+///
+/// The model is held behind an [`Arc`] so pool sweeps can share one fit
+/// across every checkpoint-cost cell instead of cloning the fit per cell.
 pub struct ModelPolicy {
-    model: FittedModel,
+    model: Arc<FittedModel>,
     costs: CheckpointCosts,
 }
 
 impl ModelPolicy {
-    /// Bind a fitted model to the phase costs.
-    pub fn new(model: FittedModel, costs: CheckpointCosts) -> Self {
-        Self { model, costs }
+    /// Bind a fitted model to the phase costs. Accepts either an owned
+    /// `FittedModel` or an `Arc<FittedModel>` shared with other policies.
+    pub fn new(model: impl Into<Arc<FittedModel>>, costs: CheckpointCosts) -> Self {
+        Self {
+            model: model.into(),
+            costs,
+        }
     }
 
     /// The model in use.
@@ -51,7 +59,7 @@ impl ModelPolicy {
     }
 
     fn t_opt(&self, age: f64) -> Result<f64> {
-        let vaidya = VaidyaModel::new(&self.model, self.costs)
+        let vaidya = VaidyaModel::new(self.model.as_ref(), self.costs)
             .map_err(|e| SimError::Policy(e.to_string()))?;
         Ok(vaidya
             .optimal_interval(age)
@@ -79,6 +87,13 @@ impl SchedulePolicy for ModelPolicy {
 /// search hundreds of times per availability segment.
 ///
 /// For memoryless models the grid degenerates to a single entry.
+///
+/// The grid is filled through **one** [`VaidyaModel`] (so its
+/// fresh-quantity memo persists across ages) and each age's search is
+/// warm-started from the neighboring age's `T_opt` — valid because
+/// `T_opt(age)` varies smoothly for the paper's families, and guarded by
+/// the full-bracket fallback inside
+/// [`VaidyaModel::optimal_interval_near`].
 pub struct CachedPolicy {
     inner: ModelPolicy,
     grid_ages: Vec<f64>,
@@ -93,8 +108,25 @@ impl CachedPolicy {
     /// availability segment the simulation will encounter (ages beyond it
     /// clamp to the last grid value, which is safe because `T_opt(age)`
     /// flattens as conditioning saturates).
-    pub fn new(model: FittedModel, costs: CheckpointCosts, max_age: f64) -> Self {
-        let inner = ModelPolicy::new(model, costs);
+    pub fn new(model: impl Into<Arc<FittedModel>>, costs: CheckpointCosts, max_age: f64) -> Self {
+        Self::build(model.into(), costs, max_age, true)
+    }
+
+    /// Like [`CachedPolicy::new`] but with every grid point searched from
+    /// the full log-space bracket (no warm starting). This is the pre-
+    /// optimization fill, kept as the baseline the sweep benchmark times
+    /// against; simulations built on it behave identically up to the
+    /// optimizer's floor precision (~1e-8 relative in `T_opt`).
+    pub fn new_cold(
+        model: impl Into<Arc<FittedModel>>,
+        costs: CheckpointCosts,
+        max_age: f64,
+    ) -> Self {
+        Self::build(model.into(), costs, max_age, false)
+    }
+
+    fn build(model: Arc<FittedModel>, costs: CheckpointCosts, max_age: f64, warm: bool) -> Self {
+        let inner = ModelPolicy::new(Arc::clone(&model), costs);
         if inner.model.kind().is_memoryless() {
             let t = inner.next_interval(0.0);
             return Self {
@@ -115,10 +147,47 @@ impl CachedPolicy {
             grid_ages.push(a);
             a *= ratio;
         }
-        let grid_t = grid_ages
-            .iter()
-            .map(|&age| inner.next_interval(age))
-            .collect();
+        let mut grid_t = Vec::with_capacity(grid_ages.len());
+        match VaidyaModel::new(model.as_ref(), costs) {
+            Ok(vaidya) => {
+                // Ascending ages: each solved point seeds the next. With
+                // two solved neighbors the seed is the log-linear
+                // extrapolation of their optima — `T_opt(age)` drifts
+                // smoothly along the geometric age grid, so extrapolating
+                // cancels the first-order drift and leaves the warm search
+                // a second-order-small correction. Any single-point
+                // failure degrades to the conservative default (one mean
+                // lifetime) and clears the seeds.
+                let mut prev: Option<f64> = None;
+                let mut prev2: Option<f64> = None;
+                for &age in &grid_ages {
+                    let hint = match (prev, prev2) {
+                        (Some(p), Some(q)) => Some((2.0 * p.ln() - q.ln()).exp()),
+                        (Some(p), None) => Some(p),
+                        _ => None,
+                    };
+                    let solved = match hint.filter(|_| warm) {
+                        Some(h) => vaidya.optimal_interval_near(age, h),
+                        None => vaidya.optimal_interval(age),
+                    };
+                    match solved {
+                        Ok(opt) => {
+                            prev2 = prev;
+                            prev = Some(opt.work_seconds);
+                            grid_t.push(opt.work_seconds);
+                        }
+                        Err(_) => {
+                            prev = None;
+                            prev2 = None;
+                            grid_t.push(model.mean().max(1.0));
+                        }
+                    }
+                }
+            }
+            // Pathological costs/fit: same conservative default the
+            // uncached ModelPolicy falls back to.
+            Err(_) => grid_t.resize(grid_ages.len(), model.mean().max(1.0)),
+        }
         Self {
             inner,
             grid_ages,
@@ -136,6 +205,12 @@ impl SchedulePolicy for CachedPolicy {
     fn next_interval(&self, age: f64) -> f64 {
         let ages = &self.grid_ages;
         let ts = &self.grid_t;
+        // A NaN age would poison the binary search's comparator; treat it
+        // as age 0 (the youngest, most conservative interval) instead of
+        // panicking mid-sweep.
+        if age.is_nan() {
+            return ts[0];
+        }
         if ts.len() == 1 || age <= ages[0] {
             return ts[0];
         }
@@ -216,6 +291,44 @@ mod tests {
         let at_edge = cached.next_interval(10_000.0);
         let beyond = cached.next_interval(1e9);
         assert!((beyond - at_edge).abs() < 1e-9 * at_edge.max(1.0) || beyond >= at_edge);
+    }
+
+    #[test]
+    fn cached_policy_nan_age_is_conservative_not_panic() {
+        let fit = weibull_fit();
+        let cached = CachedPolicy::new(fit, CheckpointCosts::symmetric(110.0), 100_000.0);
+        let at_zero = cached.next_interval(0.0);
+        assert_eq!(cached.next_interval(f64::NAN), at_zero);
+        // Infinities stay well-defined too: +inf clamps to the oldest
+        // grid entry, -inf to the youngest.
+        assert_eq!(
+            cached.next_interval(f64::INFINITY),
+            *cached.grid_t.last().unwrap()
+        );
+        assert_eq!(cached.next_interval(f64::NEG_INFINITY), at_zero);
+    }
+
+    #[test]
+    fn cold_and_warm_fill_agree_to_optimizer_floor() {
+        let fit = Arc::new(weibull_fit());
+        let costs = CheckpointCosts::symmetric(110.0);
+        let warm = CachedPolicy::new(Arc::clone(&fit), costs, 400_000.0);
+        let cold = CachedPolicy::new_cold(fit, costs, 400_000.0);
+        for (w, c) in warm.grid_t.iter().zip(&cold.grid_t) {
+            assert!(
+                ((w - c) / c).abs() < 1e-6,
+                "warm {w} vs cold {c} beyond optimizer floor"
+            );
+        }
+    }
+
+    #[test]
+    fn arc_shared_model_needs_no_clone() {
+        let fit = Arc::new(weibull_fit());
+        let a = CachedPolicy::new(Arc::clone(&fit), CheckpointCosts::symmetric(50.0), 1e4);
+        let b = CachedPolicy::new(Arc::clone(&fit), CheckpointCosts::symmetric(500.0), 1e4);
+        // Both policies alias the same fit.
+        assert!(std::ptr::eq(a.model(), b.model()));
     }
 
     #[test]

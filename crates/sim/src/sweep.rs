@@ -4,9 +4,17 @@
 //! For every machine, fit all four paper models on the training prefix of
 //! its trace; then for every checkpoint cost `C` in the grid and every
 //! model, simulate the experimental remainder and record per-machine
-//! efficiency and network load. Work is parallelized over machines with
-//! rayon; per-machine results stay index-aligned so downstream paired
-//! t-tests can compare models machine-by-machine.
+//! efficiency and network load.
+//!
+//! The sweep is one flat rayon fan-out over `(machine × C × model)` work
+//! items — the full width of the grid, not just the C axis — so every
+//! core stays busy even when `|C| <` core count. Results reduce back into
+//! [`SweepGrid`] cells by index arithmetic, which keeps per-machine
+//! vectors aligned with the experiment list (downstream paired t-tests
+//! compare models machine-by-machine) and makes the output independent of
+//! rayon's scheduling. Per-machine `max_age` is hoisted out of the C ×
+//! model loops, and fits are shared by `Arc` instead of being cloned into
+//! every cell.
 
 use crate::engine::{simulate_trace, SimConfig};
 use crate::metrics::SimResult;
@@ -17,6 +25,7 @@ use chs_markov::CheckpointCosts;
 use chs_trace::{MachineId, MachinePool};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One machine prepared for the sweep: its four fitted models plus the
 /// held-out experimental durations.
@@ -24,10 +33,19 @@ use serde::{Deserialize, Serialize};
 pub struct MachineExperiment {
     /// Which machine.
     pub machine: MachineId,
-    /// Fitted models, in [`ModelKind::PAPER_SET`] order.
-    pub fits: Vec<FittedModel>,
+    /// Fitted models, in [`ModelKind::PAPER_SET`] order, shared with
+    /// every sweep cell that simulates this machine.
+    pub fits: Vec<Arc<FittedModel>>,
     /// The experimental (held-out) durations.
     pub test_durations: Vec<f64>,
+}
+
+impl MachineExperiment {
+    /// The longest held-out availability duration: the age ceiling the
+    /// machine's `T_opt` caches must cover.
+    pub fn max_age(&self) -> f64 {
+        self.test_durations.iter().cloned().fold(0.0f64, f64::max)
+    }
 }
 
 /// Fit the paper's four models to every machine's training prefix.
@@ -45,7 +63,7 @@ pub fn prepare_experiments(pool: &MachinePool, train_len: usize) -> Vec<MachineE
             }
             let mut fits = Vec::with_capacity(ModelKind::PAPER_SET.len());
             for kind in ModelKind::PAPER_SET {
-                fits.push(fit_model(kind, &train).ok()?);
+                fits.push(Arc::new(fit_model(kind, &train).ok()?));
             }
             Some(MachineExperiment {
                 machine: trace.machine,
@@ -106,8 +124,34 @@ pub const PAPER_C_GRID: [f64; 10] = [
     50.0, 100.0, 200.0, 250.0, 400.0, 500.0, 750.0, 1_000.0, 1_250.0, 1_500.0,
 ];
 
+/// Simulate one `(machine, C, model)` work item and return its metrics.
+fn run_cell_item(
+    exp: &MachineExperiment,
+    model_index: usize,
+    c: f64,
+    max_age: f64,
+    image_mb: f64,
+    warm: bool,
+) -> SimResult {
+    let fit = Arc::clone(&exp.fits[model_index]);
+    let costs = CheckpointCosts::symmetric(c);
+    let policy = if warm {
+        CachedPolicy::new(fit, costs, max_age)
+    } else {
+        CachedPolicy::new_cold(fit, costs, max_age)
+    };
+    let mut config = SimConfig::paper(c);
+    config.image_mb = image_mb;
+    simulate_trace(&exp.test_durations, &policy, &config).expect("validated durations")
+}
+
 /// Run the full sweep: for every C and model, simulate every machine's
 /// experimental trace under the model's cached `T_opt` policy.
+///
+/// One flat parallel map over `machine × C × model` work items; the
+/// reduction into cells is pure index arithmetic, so results are
+/// identical for any thread count (and bitwise-equal to
+/// [`sweep_paper_grid_reference`]).
 pub fn sweep_paper_grid(
     experiments: &[MachineExperiment],
     c_values: &[f64],
@@ -115,9 +159,71 @@ pub fn sweep_paper_grid(
 ) -> SweepGrid {
     let models: Vec<ModelKind> = ModelKind::PAPER_SET.to_vec();
     let machines: Vec<MachineId> = experiments.iter().map(|e| e.machine).collect();
+    let n_c = c_values.len();
+    let n_k = models.len();
+    let n_items = experiments.len() * n_c * n_k;
+
+    // Hoisted out of the C × model loops: one max-age scan per machine
+    // instead of one per cell.
+    let max_ages: Vec<f64> = experiments.iter().map(MachineExperiment::max_age).collect();
+
+    // Item index layout: ei * (n_c * n_k) + ci * n_k + mi.
+    let results: Vec<SimResult> = (0..n_items)
+        .into_par_iter()
+        .map(|idx| {
+            let ei = idx / (n_c * n_k);
+            let ci = (idx / n_k) % n_c;
+            let mi = idx % n_k;
+            run_cell_item(
+                &experiments[ei],
+                mi,
+                c_values[ci],
+                max_ages[ei],
+                image_mb,
+                true,
+            )
+        })
+        .collect();
+
+    // Index-aligned reduction: machine order inside each cell matches the
+    // experiment list, aggregate absorption runs in ascending machine
+    // order — exactly the serial loop's order.
+    let cells: Vec<Vec<SweepCell>> = (0..n_c)
+        .map(|ci| {
+            (0..n_k)
+                .map(|mi| {
+                    let mut cell = SweepCell::default();
+                    for ei in 0..experiments.len() {
+                        let r = &results[ei * n_c * n_k + ci * n_k + mi];
+                        cell.efficiency.push(r.efficiency());
+                        cell.megabytes.push(r.megabytes);
+                        cell.aggregate.absorb(r);
+                    }
+                    cell
+                })
+                .collect()
+        })
+        .collect();
+
+    SweepGrid {
+        c_values: c_values.to_vec(),
+        models,
+        cells,
+        machines,
+    }
+}
+
+fn sweep_serial(
+    experiments: &[MachineExperiment],
+    c_values: &[f64],
+    image_mb: f64,
+    warm: bool,
+) -> SweepGrid {
+    let models: Vec<ModelKind> = ModelKind::PAPER_SET.to_vec();
+    let machines: Vec<MachineId> = experiments.iter().map(|e| e.machine).collect();
 
     let cells: Vec<Vec<SweepCell>> = c_values
-        .par_iter()
+        .iter()
         .map(|&c| {
             models
                 .iter()
@@ -125,16 +231,9 @@ pub fn sweep_paper_grid(
                 .map(|(mi, _)| {
                     let mut cell = SweepCell::default();
                     for exp in experiments {
-                        let max_age = exp.test_durations.iter().cloned().fold(0.0f64, f64::max);
-                        let policy = CachedPolicy::new(
-                            exp.fits[mi].clone(),
-                            CheckpointCosts::symmetric(c),
-                            max_age,
-                        );
-                        let mut config = SimConfig::paper(c);
-                        config.image_mb = image_mb;
-                        let r = simulate_trace(&exp.test_durations, &policy, &config)
-                            .expect("validated durations");
+                        // Deliberately unhoisted: the reference pays the
+                        // per-cell max-age rescan the flat sweep removed.
+                        let r = run_cell_item(exp, mi, c, exp.max_age(), image_mb, warm);
                         cell.efficiency.push(r.efficiency());
                         cell.megabytes.push(r.megabytes);
                         cell.aggregate.absorb(&r);
@@ -151,6 +250,34 @@ pub fn sweep_paper_grid(
         cells,
         machines,
     }
+}
+
+/// The naive serial sweep with the pre-optimization cost profile: nested
+/// `C → model → machine` loops, a fresh max-age scan per cell, and a cold
+/// (full-bracket) `T_opt` search at every grid point. This is the
+/// baseline `sweep_bench` times [`sweep_paper_grid`] against; its cells
+/// agree with the optimized sweep to the optimizer's floor precision
+/// (~1e-8 relative — two different search paths cannot agree closer, see
+/// `chs_numerics::optimize::spi_refine`).
+pub fn sweep_paper_grid_reference(
+    experiments: &[MachineExperiment],
+    c_values: &[f64],
+    image_mb: f64,
+) -> SweepGrid {
+    sweep_serial(experiments, c_values, image_mb, false)
+}
+
+/// The naive serial sweep using the same warm-started policy fill as
+/// [`sweep_paper_grid`]. Because every per-cell computation is identical,
+/// the flat fan-out must reproduce this **bitwise**; the differential
+/// regression test pins that down cell-by-cell at 1e-9, isolating the
+/// fan-out/reduction restructure from optimizer-precision effects.
+pub fn sweep_paper_grid_serial(
+    experiments: &[MachineExperiment],
+    c_values: &[f64],
+    image_mb: f64,
+) -> SweepGrid {
+    sweep_serial(experiments, c_values, image_mb, true)
 }
 
 #[cfg(test)]

@@ -146,9 +146,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn get_f64(opts: &Opts, key: &str, default: f64) -> Result<f64, String> {
+    // Every f64 option of this CLI is a duration/cost in seconds; reject
+    // negatives and non-finite values here so they cannot reach the
+    // simulation layer (whose config validation would abort the whole
+    // pool sweep rather than fail one flag).
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key}: not a number: {v}")),
+        Some(v) => match v.parse::<f64>() {
+            Ok(x) if x.is_finite() && x >= 0.0 => Ok(x),
+            Ok(x) => Err(format!("--{key}: must be a non-negative number, got {x}")),
+            Err(_) => Err(format!("--{key}: not a number: {v}")),
+        },
     }
 }
 

@@ -14,7 +14,7 @@ fn live_result() -> cycle_harvest::condor::ExperimentResult {
     config.machines = 24;
     config.streams = 2;
     config.window = 1.5 * 86_400.0;
-    config.seed = 99;
+    config.seed = 2005;
     run_experiment(&config).expect("live experiment")
 }
 

@@ -1,0 +1,374 @@
+//! Offline stand-in for `rayon`: eager data-parallel iterators over
+//! `std::thread::scope` with an atomic-counter work queue.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the rayon surface it uses: `par_iter` / `into_par_iter`, the
+//! `map`/`filter_map`/`filter`/`enumerate`/`for_each`/`sum`/`collect`
+//! adaptors, and `ThreadPoolBuilder::num_threads(..).build().install(..)`.
+//!
+//! Unlike real rayon the adaptors are **eager**: each stage materializes
+//! its results (in input order) before the next runs. Scheduling is a
+//! shared atomic index, so uneven per-item cost — exactly the sweep's
+//! profile, where old machines cost far more than young ones — load
+//! balances across however many cores the host exposes.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Everything a caller needs in scope for `.par_iter()` chains.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+std::thread_local! {
+    static POOL_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The number of worker threads parallel operations will use on this
+/// thread: an installed pool's size if inside [`ThreadPool::install`],
+/// otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_OVERRIDE.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(1)
+    })
+}
+
+/// Run `f(item)` for every item, in parallel, preserving input order in
+/// the output. The core primitive behind every adaptor.
+fn par_map_vec<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: F) -> Vec<U> {
+    let len = items.len();
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("worker panicked holding an item slot")
+                        .take()
+                        .expect("each slot is drained exactly once");
+                    local.push((i, f(item)));
+                }
+                done.lock()
+                    .expect("worker panicked holding the result sink")
+                    .append(&mut local);
+            });
+        }
+    });
+    let mut indexed = done.into_inner().expect("scope joined all workers");
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, u)| u).collect()
+}
+
+/// An eager, order-preserving parallel iterator: the result of
+/// `par_iter()` / `into_par_iter()` and of every adaptor.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: par_map_vec(self.items, f),
+        }
+    }
+
+    /// Apply `f` in parallel, keeping only `Some` results.
+    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: par_map_vec(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Keep items satisfying the predicate (evaluated in parallel).
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        ParIter {
+            items: par_map_vec(self.items, |t| if f(&t) { Some(t) } else { None })
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Run `f` on every item in parallel, discarding results.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_map_vec(self.items, f);
+    }
+
+    /// Gather results into any `FromIterator` collection, in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Fold-reduce with an identity, mirroring rayon's `reduce`.
+    pub fn reduce<ID: Fn() -> T + Sync, F: Fn(T, T) -> T + Sync>(self, identity: ID, f: F) -> T {
+        self.items.into_iter().fold(identity(), f)
+    }
+
+    /// Hint accepted for API compatibility; scheduling is per-item here.
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// Number of items (the iterator is materialized, so this is exact).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// By-value conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Convert into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// By-reference conversion (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type produced (a shared reference).
+    type Item: Send + 'data;
+    /// Borrowing parallel iterator over the collection.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for pool construction (infallible here, kept for API shape).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Start a builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` worker threads (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+        })
+    }
+}
+
+/// A sized "pool": parallel operations run inside [`ThreadPool::install`]
+/// use at most its thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count governing parallel operations
+    /// on the current thread.
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("join: right side panicked"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<i64> = (0..1_000).collect();
+        let doubled: Vec<i64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let v: Vec<u64> = (0..100).collect();
+        let evens: Vec<u64> = v
+            .into_par_iter()
+            .filter_map(|x| if x % 2 == 0 { Some(x) } else { None })
+            .collect();
+        assert_eq!(evens, (0..100).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_caps_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 1);
+        assert_eq!(pool.current_num_threads(), 1);
+    }
+
+    #[test]
+    fn install_restores_on_exit() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| ());
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn nested_adaptors() {
+        let v: Vec<usize> = (0..64).collect();
+        let total: usize = v.par_iter().map(|&x| x).filter(|&x| x < 32).sum();
+        assert_eq!(total, (0..32).sum());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..50usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 50);
+        assert_eq!(squares[7], 49);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let v: Vec<u32> = (0..8).collect();
+        let _: Vec<u32> = v
+            .into_par_iter()
+            .map(|x| {
+                if x == 5 {
+                    panic!("boom");
+                }
+                x
+            })
+            .collect();
+    }
+}

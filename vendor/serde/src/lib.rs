@@ -1,0 +1,481 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of real serde's visitor-based `Serializer`/`Deserializer`
+//! machinery, this vendored stub round-trips everything through a JSON
+//! [`value::Value`] tree: [`Serialize`] renders into a `Value`,
+//! [`Deserialize`] reads back out of one. The paired `serde_json` stub
+//! handles text. The derive macros (re-exported from the vendored
+//! `serde_derive`) generate the same externally-tagged representation as
+//! real serde's defaults, so JSON written by this workspace looks like
+//! what the real crates would produce.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+use value::{DeError, Value};
+
+/// Render `self` into a JSON value tree.
+pub trait Serialize {
+    /// Convert to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a JSON value tree.
+pub trait Deserialize: Sized {
+    /// Parse from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::I64(x) => Ok(*x as $t),
+                    Value::U64(x) => Ok(*x as $t),
+                    // Real serde_json writes non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::new(format!(
+                        "expected number, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_float!(f64, f32);
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw: u64 = match v {
+                    Value::U64(x) => *x,
+                    Value::I64(x) if *x >= 0 => *x as u64,
+                    Value::F64(x) if x.fract() == 0.0 && *x >= 0.0 => *x as u64,
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected unsigned integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range")))
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match v {
+                    Value::I64(x) => *x,
+                    Value::U64(x) if *x <= i64::MAX as u64 => *x as i64,
+                    Value::F64(x) if x.fract() == 0.0 => *x as i64,
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range")))
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::new(format!(
+                "expected single-char string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Mirrors real serde's borrowed-str impl as closely as a value-tree
+    /// model allows: the string must outlive the value, so it is leaked.
+    /// Only `&'static str` fields in config-sized structs use this.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::new(format!(
+                "expected 2-tuple, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(DeError::new(format!(
+                "expected 3-tuple, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+            self.3.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize for (A, B, C, D) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 4 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+                D::from_value(&items[3])?,
+            )),
+            other => Err(DeError::new(format!(
+                "expected 4-tuple, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Map keys: anything that can render to / parse from a JSON object key.
+pub trait MapKey: Sized {
+    /// Render the key.
+    fn to_key(&self) -> String;
+    /// Parse the key.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+/// Blanket bridge: any serializable type whose value form is a string or
+/// integer can key a map (this covers strings, integers, and integer
+/// newtypes like trace machine ids — the same set `serde_json` accepts).
+impl<T: Serialize + Deserialize> MapKey for T {
+    fn to_key(&self) -> String {
+        match self.to_value() {
+            Value::String(s) => s,
+            Value::U64(n) => n.to_string(),
+            Value::I64(n) => n.to_string(),
+            other => panic!("unsupported map key kind: {}", other.kind()),
+        }
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        if let Ok(v) = T::from_value(&Value::String(s.to_string())) {
+            return Ok(v);
+        }
+        if let Ok(n) = s.parse::<u64>() {
+            if let Ok(v) = T::from_value(&Value::U64(n)) {
+                return Ok(v);
+            }
+        }
+        if let Ok(n) = s.parse::<i64>() {
+            if let Ok(v) = T::from_value(&Value::I64(n)) {
+                return Ok(v);
+            }
+        }
+        Err(DeError::new(format!("unparseable map key {s:?}")))
+    }
+}
+
+impl<K: MapKey, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize, S: std::hash::BuildHasher + Default>
+    Deserialize for std::collections::HashMap<K, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::new(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::new(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(f64::from_value(&3.25f64.to_value()).unwrap(), 3.25);
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(i64::from_value(&(-9i64).to_value()).unwrap(), -9);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn nan_serializes_to_null_and_back() {
+        let v = f64::NAN.to_value();
+        // Value::F64 carries the NaN; the JSON writer is responsible for
+        // rendering it as null. Null must also deserialize as NaN.
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+        let _ = v;
+    }
+
+    #[test]
+    fn vec_and_option_roundtrip() {
+        let xs = vec![1.0f64, 2.5, -3.0];
+        assert_eq!(Vec::<f64>::from_value(&xs.to_value()).unwrap(), xs);
+        let some: Option<u64> = Some(5);
+        let none: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&some.to_value()).unwrap(), some);
+        assert_eq!(Option::<u64>::from_value(&none.to_value()).unwrap(), none);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (0.5f64, 9u64);
+        assert_eq!(<(f64, u64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(u32::from_value(&Value::String("x".into())).is_err());
+        assert!(bool::from_value(&Value::F64(1.0)).is_err());
+        assert!(Vec::<f64>::from_value(&Value::Bool(true)).is_err());
+    }
+}

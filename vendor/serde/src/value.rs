@@ -1,0 +1,104 @@
+//! The JSON value tree the vendored serde stub serializes through, plus
+//! the helpers the derive macros call.
+
+use crate::Deserialize;
+
+/// A JSON value. Objects preserve insertion order (`Vec` of pairs) so
+/// serialized structs keep their field order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A float (also carries non-finite values; the writer emits `null`).
+    F64(f64),
+    /// A negative integer.
+    I64(i64),
+    /// A non-negative integer.
+    U64(u64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::F64(_) | Value::I64(_) | Value::U64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up an object entry by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Create with a message.
+    pub fn new(message: String) -> Self {
+        Self { message }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Derive-macro helper: extract and deserialize a named struct field.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v {
+        Value::Object(_) => match v.get(name) {
+            Some(inner) => {
+                T::from_value(inner).map_err(|e| DeError::new(format!("field `{name}`: {e}")))
+            }
+            None => Err(DeError::new(format!("missing field `{name}`"))),
+        },
+        other => Err(DeError::new(format!(
+            "expected object with field `{name}`, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Derive-macro helper: extract and deserialize a tuple element.
+pub fn element<T: Deserialize>(v: &Value, index: usize) -> Result<T, DeError> {
+    match v {
+        Value::Array(items) => match items.get(index) {
+            Some(inner) => {
+                T::from_value(inner).map_err(|e| DeError::new(format!("element {index}: {e}")))
+            }
+            None => Err(DeError::new(format!(
+                "missing element {index} (array has {})",
+                items.len()
+            ))),
+        },
+        other => Err(DeError::new(format!(
+            "expected array, found {}",
+            other.kind()
+        ))),
+    }
+}

@@ -1,0 +1,373 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace's vendored serde stand-in.
+//!
+//! No `syn`/`quote` (crates.io is unreachable), so the item is parsed
+//! directly from the `proc_macro` token stream. Supported shapes — the
+//! only ones this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider ones as
+//!   arrays),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching real serde's default representation).
+//!
+//! Generic items and `#[serde(..)]` attributes are intentionally not
+//! supported and panic with a clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Split the tokens of a brace/paren group into comma-separated field
+/// chunks, respecting `<...>` nesting in types (commas inside angle
+/// brackets do not split).
+fn split_fields(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Drop leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, ...) from a token chunk.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // `#` then `[...]` — skip both.
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+/// First identifier of a named-field chunk (the field name).
+fn field_name(tokens: &[TokenTree]) -> String {
+    let rest = strip_attrs_and_vis(tokens);
+    match rest.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected field name, found {other:?}"),
+    }
+}
+
+fn parse_named_fields(group_tokens: Vec<TokenTree>) -> Vec<String> {
+    split_fields(group_tokens)
+        .iter()
+        .map(|chunk| field_name(chunk))
+        .collect()
+}
+
+fn parse_variants(group_tokens: Vec<TokenTree>) -> Vec<Variant> {
+    split_fields(group_tokens)
+        .into_iter()
+        .map(|chunk| {
+            let rest = strip_attrs_and_vis(&chunk);
+            let name = match rest.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other:?}"),
+            };
+            let shape = match rest.get(1) {
+                None => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream().into_iter().collect()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(split_fields(g.stream().into_iter().collect()).len())
+                }
+                other => panic!(
+                    "serde_derive: unsupported tokens after variant {name}: {other:?} \
+                     (discriminants are not supported)"
+                ),
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let rest = strip_attrs_and_vis(&tokens);
+    let mut it = rest.iter();
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    let next = it.next();
+    if let Some(TokenTree::Punct(p)) = next {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic item `{name}` is not supported by the vendored stub");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match next {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream().into_iter().collect()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(split_fields(g.stream().into_iter().collect()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match next {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream().into_iter().collect()))
+            }
+            other => panic!("serde_derive: unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// `#[derive(Serialize)]` — implements `serde::Serialize` by building a
+/// `serde::value::Value` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, \
+                 ::serde::value::Value)> = ::std::vec::Vec::new();\n{pushes}\
+                 ::serde::value::Value::Object(__obj)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Array(::std::vec![{}])",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::value::Value::String(\
+                             \"{vn}\".to_string()),\n"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__x0) => ::serde::value::Value::Object(::std::vec![(\
+                             \"{vn}\".to_string(), ::serde::Serialize::to_value(__x0))]),\n"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::value::Value::Object(::std::vec![(\
+                                 \"{vn}\".to_string(), ::serde::value::Value::Array(\
+                                 ::std::vec![{}]))]),\n",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::value::Value::Object(\
+                                 ::std::vec![(\"{vn}\".to_string(), \
+                                 ::serde::value::Value::Object(::std::vec![{}]))]),\n",
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// `#[derive(Deserialize)]` — implements `serde::Deserialize` by reading
+/// back the `Value` tree produced by the paired `Serialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::value::field(__v, \"{f}\")?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::value::element(__v, {i})?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", inits.join(", "))
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => unreachable!(),
+                        VariantShape::Tuple(1) => format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::value::element(__inner, {i})?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}({})),\n",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::value::field(__inner, \"{f}\")?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::value::Value::String(__s) => {{\n\
+                 match __s.as_str() {{\n{unit_arms}\
+                 _ => {{}}\n}}\n\
+                 ::std::result::Result::Err(::serde::value::DeError::new(\
+                 ::std::format!(\"unknown {name} variant {{__s}}\")))\n\
+                 }}\n\
+                 ::serde::value::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__m[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 _ => {{}}\n}}\n\
+                 ::std::result::Result::Err(::serde::value::DeError::new(\
+                 ::std::format!(\"unknown {name} variant {{__tag}}\")))\n\
+                 }}\n\
+                 _ => ::std::result::Result::Err(::serde::value::DeError::new(\
+                 \"expected {name} enum representation\".to_string())),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::value::Value) -> \
+         ::std::result::Result<Self, ::serde::value::DeError> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl failed to parse")
+}
