@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the shared checkpoint-cycle engine: the
+//! closed-form segment executor (`chs_cycle::run_trace`, used by the
+//! batch simulator) against the step-driven `CycleMachine` drive of the
+//! same trace (the code path the condor and contention executors use).
+//! The gap between the two is the cost of incremental stepping itself.
+
+use chs_bench::step_drive_trace;
+use chs_cycle::{run_trace, CycleConfig, NoopObserver, SchedulePolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A smooth age-dependent policy so the interval genuinely varies with
+/// age (the representative case for every executor).
+struct AgePolicy;
+
+impl SchedulePolicy for AgePolicy {
+    fn next_interval(&self, age: f64) -> f64 {
+        180.0 + 260.0 * (1.0 + (age / 1_237.0).sin()) * 0.997
+    }
+    fn label(&self) -> String {
+        "age-dependent bench policy".into()
+    }
+}
+
+/// Deterministic trace with a spread of segment lengths: some shorter
+/// than the recovery cost, some spanning many cycles.
+fn trace(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 97.3) % 5_000.0 + 1.0).collect()
+}
+
+fn bench_cycle_stepping(c: &mut Criterion) {
+    let durations = trace(1_000);
+    let config = CycleConfig::paper(110.0);
+
+    let mut group = c.benchmark_group("cycle_stepping");
+    group.bench_function("closed_form_1000_segments", |b| {
+        b.iter(|| {
+            run_trace(
+                black_box(&durations),
+                &AgePolicy,
+                &config,
+                &mut NoopObserver,
+            )
+        })
+    });
+    group.bench_function("step_driven_1000_segments", |b| {
+        b.iter(|| step_drive_trace(black_box(&durations), &AgePolicy, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_stepping);
+criterion_main!(benches);

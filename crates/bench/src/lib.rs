@@ -120,6 +120,89 @@ pub fn run_paper_sweep(experiments: &[MachineExperiment]) -> SweepGrid {
     sweep_paper_grid(experiments, &chs_sim::sweep::PAPER_C_GRID, 500.0)
 }
 
+/// Drive the shared checkpoint-cycle machine step-by-step over an
+/// availability trace under a fixed-bandwidth link.
+///
+/// This is the incremental-driving counterpart of the closed-form
+/// `chs_cycle::run_trace`: branch decisions use the same `age`
+/// bookkeeping as the closed-form loop, so both executors make identical
+/// decisions and their totals agree to floating-point accrual error
+/// (≤ 1e-9 relative). Transfers advance in uneven sub-slices to exercise
+/// incremental accrual, the code path the contention executor uses. Used
+/// by the cycle benchmarks to time stepping against the closed form and
+/// assert the identity at the same time.
+pub fn step_drive_trace(
+    durations: &[f64],
+    policy: &dyn chs_cycle::SchedulePolicy,
+    config: &chs_cycle::CycleConfig,
+) -> chs_cycle::CycleAccounting {
+    let mut machine = chs_cycle::CycleMachine::new(*config);
+    for &a in durations {
+        step_drive_segment(&mut machine, a, policy);
+    }
+    machine.into_accounting()
+}
+
+fn step_drive_segment(
+    machine: &mut chs_cycle::CycleMachine,
+    a: f64,
+    policy: &dyn chs_cycle::SchedulePolicy,
+) {
+    let config = *machine.config();
+    let c = config.checkpoint_cost;
+    let rec = config.recovery_cost;
+    let image = config.image_mb;
+    let obs = &mut chs_cycle::NoopObserver;
+
+    // Advance a transfer of `full` seconds for `elapsed` of them, in
+    // three uneven slices, feeding the linear fixed-bandwidth byte count.
+    fn advance_transfer(m: &mut chs_cycle::CycleMachine, elapsed: f64, full: f64, image: f64) {
+        let rate = if full > 0.0 { image / full } else { 0.0 };
+        let cuts = [0.37, 0.81, 1.0];
+        let mut done = 0.0;
+        for cut in cuts {
+            let upto = elapsed * cut;
+            let dt = upto - done;
+            m.advance(dt, dt * rate);
+            done = upto;
+        }
+    }
+
+    machine.place(a, obs);
+    if a < rec {
+        advance_transfer(machine, a, rec, image);
+        machine.evict(obs);
+        return;
+    }
+    advance_transfer(machine, rec, rec, image);
+    machine.complete_recovery(obs);
+    let mut age = rec;
+    loop {
+        let t = chs_cycle::guarded_interval(age, |age| policy.next_interval(age));
+        machine.start_work(t, obs);
+        if age + t >= a {
+            machine.advance(a - age, 0.0);
+            machine.evict(obs);
+            return;
+        }
+        machine.advance(t, 0.0);
+        machine.start_checkpoint(obs);
+        if age + t + c > a {
+            let ckpt_elapsed = a - (age + t);
+            advance_transfer(machine, ckpt_elapsed, c, image);
+            machine.evict(obs);
+            return;
+        }
+        advance_transfer(machine, c, c, image);
+        machine.complete_checkpoint(obs);
+        age += t + c;
+        if age >= a {
+            machine.evict(obs);
+            return;
+        }
+    }
+}
+
 /// Fixed-width table printer.
 pub struct TablePrinter {
     widths: Vec<usize>,
@@ -231,6 +314,32 @@ mod tests {
         TablePrinter::new(Vec::new()).rule();
         TablePrinter::new(vec![5]).rule();
         TablePrinter::new(vec![3, 4]).rule();
+    }
+
+    #[test]
+    fn step_drive_matches_closed_form() {
+        struct Fixed;
+        impl chs_cycle::SchedulePolicy for Fixed {
+            fn next_interval(&self, _age: f64) -> f64 {
+                400.0
+            }
+            fn label(&self) -> String {
+                "fixed".into()
+            }
+        }
+        let durations: Vec<f64> = (0..50)
+            .map(|i| (i as f64 * 311.7) % 4_000.0 + 1.0)
+            .collect();
+        let config = chs_cycle::CycleConfig::paper(110.0);
+        let closed =
+            chs_cycle::run_trace(&durations, &Fixed, &config, &mut chs_cycle::NoopObserver);
+        let step = step_drive_trace(&durations, &Fixed, &config);
+        assert_eq!(step.checkpoints_committed, closed.checkpoints_committed);
+        assert_eq!(step.failures, closed.failures);
+        let rel = |x: f64, y: f64| (x - y).abs() / x.abs().max(y.abs()).max(1.0);
+        assert!(rel(step.useful_seconds, closed.useful_seconds) < 1e-9);
+        assert!(rel(step.megabytes, closed.megabytes) < 1e-9);
+        assert!(rel(step.total_seconds, closed.total_seconds) < 1e-9);
     }
 
     #[test]

@@ -13,11 +13,22 @@
 //! letting the bandwidth parsimony of heavy-tailed schedules convert into
 //! an efficiency advantage, exactly the paper's conjecture.
 //!
+//! Each job's cycle state and accounting live in a
+//! [`chs_cycle::CycleMachine`]: the event loop owns only the shared-link
+//! bandwidth model (how many megabytes drain per `dt`) and the interval
+//! planning; phase transitions, partial-transfer accrual, and the ledger
+//! are the same code the batch simulator and the live-experiment
+//! emulation run.
+//!
 //! Jobs adapt like the live test process: each completed transfer's
 //! measured duration becomes the `C = R` for the next `T_opt`.
 
 use crate::machine::{EmulatedMachine, Segment};
 use crate::{CondorError, Result};
+use chs_cycle::{
+    clamp_interval, sanitize_age, CycleAccounting, CycleConfig, CycleMachine, CyclePhase,
+    NoopObserver,
+};
 use chs_dist::fit::fit_model;
 use chs_dist::{FittedModel, ModelKind};
 use chs_markov::{CheckpointCosts, VaidyaModel};
@@ -87,6 +98,9 @@ pub struct ContentionResult {
     pub mean_link_concurrency: f64,
     /// Fraction of the window the link was busy.
     pub link_utilization: f64,
+    /// The merged cycle ledger across all jobs; the scalar fields above
+    /// are views into it plus the link statistics.
+    pub cycle: CycleAccounting,
 }
 
 impl ContentionResult {
@@ -107,35 +121,16 @@ impl ContentionResult {
     }
 }
 
-/// What a job is doing.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Phase {
-    /// Waiting for its machine's segment `seg_index` to begin.
-    OffMachine,
-    /// Pulling the recovery image; `remaining_mb` still to move.
-    Recovering { remaining_mb: f64, started_at: f64 },
-    /// Spinning until `until`; `work` seconds will be credited if the
-    /// following checkpoint commits.
-    Working { until: f64, work: f64 },
-    /// Pushing a checkpoint; commit credits `work`.
-    Checkpointing {
-        remaining_mb: f64,
-        work: f64,
-        started_at: f64,
-    },
-}
-
 struct Job {
     machine: EmulatedMachine,
     fit: FittedModel,
     seg_index: usize,
-    phase: Phase,
+    /// The shared checkpoint-cycle state machine: phase, in-flight
+    /// transfer accrual, and the per-job ledger.
+    cycle: CycleMachine,
+    /// Absolute end of the current work interval (valid in `Work` phase).
+    work_until: f64,
     measured_cost: f64,
-    useful: f64,
-    occupied: f64,
-    megabytes: f64,
-    committed: u64,
-    transfers_started: u64,
     completed_transfer_time: f64,
     completed_transfers: u64,
     /// Start of the segment the job currently occupies.
@@ -147,11 +142,23 @@ impl Job {
         self.machine.segments().get(self.seg_index).copied()
     }
 
-    fn transferring(&self) -> bool {
-        matches!(
-            self.phase,
-            Phase::Recovering { .. } | Phase::Checkpointing { .. }
-        )
+    /// A transfer just completed at time `t` after `duration` seconds:
+    /// record the measurement and plan + start the next work interval.
+    fn plan_next_interval(&mut self, t: f64, duration: f64) -> Result<()> {
+        self.measured_cost = duration.max(1.0);
+        self.completed_transfer_time += duration;
+        self.completed_transfers += 1;
+        // Plan from the machine's age and the measured cost.
+        let age = t - self.seg_start;
+        let t_work = plan_interval(&self.fit, self.measured_cost, age)?;
+        self.cycle.start_work(t_work, &mut NoopObserver);
+        self.work_until = t + t_work;
+        Ok(())
+    }
+
+    fn evict(&mut self) {
+        self.cycle.evict(&mut NoopObserver);
+        self.seg_index += 1;
     }
 }
 
@@ -166,6 +173,14 @@ pub fn run_contention(config: &ContentionConfig) -> Result<ContentionResult> {
         ));
     }
     let nominal_cost = config.image_mb / config.link_mb_per_s;
+    let cycle_config = CycleConfig {
+        // Step-driven: the machine only needs the image size and the
+        // byte-counting rule; durations come from the shared link.
+        checkpoint_cost: 0.0,
+        recovery_cost: 0.0,
+        image_mb: config.image_mb,
+        count_recovery_bytes: true,
+    };
 
     // Build jobs: machine i + model fitted to its history.
     let mut jobs: Vec<Job> = Vec::with_capacity(config.jobs);
@@ -182,13 +197,9 @@ pub fn run_contention(config: &ContentionConfig) -> Result<ContentionResult> {
             machine,
             fit,
             seg_index: 0,
-            phase: Phase::OffMachine,
+            cycle: CycleMachine::new(cycle_config),
+            work_until: 0.0,
             measured_cost: nominal_cost,
-            useful: 0.0,
-            occupied: 0.0,
-            megabytes: 0.0,
-            committed: 0,
-            transfers_started: 0,
             completed_transfer_time: 0.0,
             completed_transfers: 0,
             seg_start: 0.0,
@@ -202,7 +213,7 @@ pub fn run_contention(config: &ContentionConfig) -> Result<ContentionResult> {
     const EPS: f64 = 1e-7;
 
     while t < config.window {
-        let n_active = jobs.iter().filter(|j| j.transferring()).count();
+        let n_active = jobs.iter().filter(|j| j.cycle.transferring()).count();
         let rate = if n_active > 0 {
             capacity / n_active as f64
         } else {
@@ -213,40 +224,38 @@ pub fn run_contention(config: &ContentionConfig) -> Result<ContentionResult> {
         let mut t_next = config.window;
         for job in &jobs {
             let seg = job.current_segment();
-            let event = match job.phase {
-                Phase::OffMachine => seg.map_or(f64::INFINITY, |s| s.start),
-                Phase::Working { until, .. } => until.min(seg.map_or(f64::INFINITY, |s| s.end)),
-                Phase::Recovering { remaining_mb, .. }
-                | Phase::Checkpointing { remaining_mb, .. } => {
-                    let done = t + remaining_mb / rate;
+            let event = match job.cycle.phase() {
+                CyclePhase::Down => seg.map_or(f64::INFINITY, |s| s.start),
+                CyclePhase::Work => job.work_until.min(seg.map_or(f64::INFINITY, |s| s.end)),
+                CyclePhase::Recovery | CyclePhase::Checkpoint => {
+                    let remaining = job.cycle.transfer_remaining_mb().unwrap_or(0.0);
+                    let done = t + remaining / rate;
                     done.min(seg.map_or(f64::INFINITY, |s| s.end))
                 }
+                // Transfer completions plan and start the next interval
+                // in the same event, so no job rests between iterations.
+                CyclePhase::Ready => unreachable!("job left in Ready between events"),
             };
             t_next = t_next.min(event);
         }
         let dt = (t_next - t).max(0.0);
 
-        // Drain in-flight transfers and account link occupancy.
+        // Account link occupancy, then advance every on-machine job's
+        // cycle machine — transferring jobs accrue their share of the
+        // drained megabytes, working jobs just accrue time.
         if n_active > 0 && dt > 0.0 {
             busy_time += dt;
             concurrency_time += dt * n_active as f64;
-            let moved = dt * rate;
-            for job in jobs.iter_mut() {
-                match &mut job.phase {
-                    Phase::Recovering { remaining_mb, .. }
-                    | Phase::Checkpointing { remaining_mb, .. } => {
-                        let delta = moved.min(*remaining_mb);
-                        *remaining_mb -= delta;
-                        job.megabytes += delta;
-                    }
-                    _ => {}
-                }
-            }
         }
-        // Accrue occupancy for on-machine jobs.
+        let moved = if n_active > 0 { dt * rate } else { 0.0 };
         for job in jobs.iter_mut() {
-            if !matches!(job.phase, Phase::OffMachine) {
-                job.occupied += dt;
+            match job.cycle.phase() {
+                CyclePhase::Down => {}
+                CyclePhase::Recovery | CyclePhase::Checkpoint => {
+                    let delta = moved.min(job.cycle.transfer_remaining_mb().unwrap_or(0.0));
+                    job.cycle.advance(dt, delta);
+                }
+                _ => job.cycle.advance(dt, 0.0),
             }
         }
         t = t_next;
@@ -259,97 +268,67 @@ pub fn run_contention(config: &ContentionConfig) -> Result<ContentionResult> {
             let Some(seg) = job.current_segment() else {
                 continue;
             };
-            match job.phase {
-                Phase::OffMachine => {
+            match job.cycle.phase() {
+                CyclePhase::Down => {
                     if t + EPS >= seg.start {
                         // Placement at segment start: begin recovery.
                         job.seg_start = seg.start;
-                        job.phase = Phase::Recovering {
-                            remaining_mb: config.image_mb,
-                            started_at: t,
-                        };
-                        job.transfers_started += 1;
+                        job.cycle.place(seg.end - seg.start, &mut NoopObserver);
                     }
                 }
-                Phase::Working { until, work } => {
+                CyclePhase::Work => {
                     if t + EPS >= seg.end {
                         // Evicted mid-work: pending work lost.
-                        job.seg_index += 1;
-                        job.phase = Phase::OffMachine;
-                    } else if t + EPS >= until {
-                        job.phase = Phase::Checkpointing {
-                            remaining_mb: config.image_mb,
-                            work,
-                            started_at: t,
-                        };
-                        job.transfers_started += 1;
+                        job.evict();
+                    } else if t + EPS >= job.work_until {
+                        job.cycle.start_checkpoint(&mut NoopObserver);
                     }
                 }
-                Phase::Recovering {
-                    remaining_mb,
-                    started_at,
-                } => {
+                CyclePhase::Recovery => {
                     if t + EPS >= seg.end {
-                        job.seg_index += 1;
-                        job.phase = Phase::OffMachine;
-                    } else if remaining_mb <= EPS {
-                        let duration = t - started_at;
-                        job.measured_cost = duration.max(1.0);
-                        job.completed_transfer_time += duration;
-                        job.completed_transfers += 1;
-                        // Plan the next work interval from the machine's
-                        // age and the measured cost.
-                        let age = t - job.seg_start;
-                        let t_work = plan_interval(&job.fit, job.measured_cost, age)?;
-                        job.phase = Phase::Working {
-                            until: t + t_work,
-                            work: t_work,
-                        };
+                        job.evict();
+                    } else if job.cycle.transfer_remaining_mb().unwrap_or(0.0) <= EPS {
+                        let duration = job.cycle.complete_recovery(&mut NoopObserver);
+                        job.plan_next_interval(t, duration)?;
                     }
                 }
-                Phase::Checkpointing {
-                    remaining_mb,
-                    work,
-                    started_at,
-                } => {
+                CyclePhase::Checkpoint => {
                     if t + EPS >= seg.end {
-                        job.seg_index += 1;
-                        job.phase = Phase::OffMachine;
-                    } else if remaining_mb <= EPS {
-                        let duration = t - started_at;
-                        job.measured_cost = duration.max(1.0);
-                        job.completed_transfer_time += duration;
-                        job.completed_transfers += 1;
-                        job.useful += work;
-                        job.committed += 1;
-                        let age = t - job.seg_start;
-                        let t_work = plan_interval(&job.fit, job.measured_cost, age)?;
-                        job.phase = Phase::Working {
-                            until: t + t_work,
-                            work: t_work,
-                        };
+                        job.evict();
+                    } else if job.cycle.transfer_remaining_mb().unwrap_or(0.0) <= EPS {
+                        let duration = job.cycle.complete_checkpoint(&mut NoopObserver);
+                        job.plan_next_interval(t, duration)?;
                     }
                 }
+                CyclePhase::Ready => unreachable!("job left in Ready between events"),
             }
         }
     }
 
-    let useful: f64 = jobs.iter().map(|j| j.useful).sum();
-    let occupied: f64 = jobs.iter().map(|j| j.occupied).sum();
-    let megabytes: f64 = jobs.iter().map(|j| j.megabytes).sum();
-    let committed: u64 = jobs.iter().map(|j| j.committed).sum();
-    let started: u64 = jobs.iter().map(|j| j.transfers_started).sum();
+    // Window closed with jobs still placed: flush in-flight phases so
+    // partial transfer bytes and lost work reach the ledgers (a cutoff,
+    // not an eviction — no failure is recorded).
+    for job in jobs.iter_mut() {
+        if job.cycle.phase() != CyclePhase::Down {
+            job.cycle.cutoff(&mut NoopObserver);
+        }
+    }
+
+    let mut total = CycleAccounting::default();
+    for job in &jobs {
+        total.absorb(job.cycle.accounting());
+    }
     let transfer_time: f64 = jobs.iter().map(|j| j.completed_transfer_time).sum();
     let transfers: u64 = jobs.iter().map(|j| j.completed_transfers).sum();
 
     Ok(ContentionResult {
         model: config.model,
         jobs: config.jobs,
-        useful_seconds: useful,
-        occupied_seconds: occupied,
-        megabytes,
-        checkpoints_committed: committed,
-        transfers_started: started,
+        useful_seconds: total.useful_seconds,
+        occupied_seconds: total.total_seconds,
+        megabytes: total.megabytes,
+        checkpoints_committed: total.checkpoints_committed,
+        transfers_started: total.transfers_started(),
         mean_transfer_seconds: if transfers > 0 {
             transfer_time / transfers as f64
         } else {
@@ -361,12 +340,14 @@ pub fn run_contention(config: &ContentionConfig) -> Result<ContentionResult> {
             0.0
         },
         link_utilization: busy_time / config.window,
+        cycle: total,
     })
 }
 
 fn plan_interval(fit: &FittedModel, cost: f64, age: f64) -> Result<f64> {
+    let age = sanitize_age(age).max(0.0);
     let vaidya = VaidyaModel::new(fit, CheckpointCosts::symmetric(cost))?;
-    Ok(vaidya.optimal_interval(age.max(0.0))?.work_seconds)
+    Ok(clamp_interval(vaidya.optimal_interval(age)?.work_seconds))
 }
 
 #[cfg(test)]
@@ -467,6 +448,21 @@ mod tests {
         let r = run_contention(&small(6, ModelKind::HyperExponential { phases: 2 })).unwrap();
         assert!(r.useful_seconds <= r.occupied_seconds + 1e-6);
         assert!(r.checkpoints_committed <= r.transfers_started);
+    }
+
+    #[test]
+    fn scalar_fields_are_views_into_the_ledger() {
+        let r = run_contention(&small(5, ModelKind::Weibull)).unwrap();
+        assert_eq!(r.useful_seconds, r.cycle.useful_seconds);
+        assert_eq!(r.occupied_seconds, r.cycle.total_seconds);
+        assert_eq!(r.megabytes, r.cycle.megabytes);
+        assert_eq!(r.checkpoints_committed, r.cycle.checkpoints_committed);
+        assert_eq!(r.transfers_started, r.cycle.transfers_started());
+        assert!(
+            r.cycle.conservation_residual().abs() < 1e-6,
+            "residual {}",
+            r.cycle.conservation_residual()
+        );
     }
 
     #[test]

@@ -2,11 +2,19 @@
 //! test processes to the (virtual) Condor pool, let each one measure its
 //! own transfer costs and recompute `T_opt` after every checkpoint, and
 //! aggregate per-model efficiency and network load (Tables 4–5).
+//!
+//! Each run drives a [`chs_cycle::CycleMachine`] — the same recovery →
+//! (work → checkpoint)* state machine the batch simulator executes in
+//! closed form — with sampled transfer durations, and attaches a
+//! [`LogRecorder`] so the checkpoint manager's per-process log is
+//! written live from the cycle event stream.
 
+use crate::log::{LogRecorder, ProcessLog};
 use crate::machine::MachinePark;
 use crate::manager::{RunRecord, TransferKind, TransferRecord};
 use crate::negotiator::{Negotiator, Placement};
 use crate::{CondorError, Result};
+use chs_cycle::{clamp_interval, sanitize_age, CycleConfig, CycleMachine};
 use chs_dist::fit::fit_model;
 use chs_dist::{FittedModel, ModelKind};
 use chs_markov::{CheckpointCosts, VaidyaModel};
@@ -112,6 +120,9 @@ pub struct ModelSummary {
 pub struct ExperimentResult {
     /// Every run, all models.
     pub runs: Vec<RunRecord>,
+    /// The manager's per-process log for each run (parallel to `runs`),
+    /// recorded live by a [`LogRecorder`] on the run's cycle machine.
+    pub logs: Vec<ProcessLog>,
     /// Per-model aggregates in [`ModelKind::PAPER_SET`] order.
     pub summaries: Vec<ModelSummary>,
 }
@@ -123,6 +134,7 @@ pub struct ExperimentResult {
 pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult> {
     config.validate()?;
     let mut runs: Vec<RunRecord> = Vec::new();
+    let mut logs: Vec<ProcessLog> = Vec::new();
     for (model_index, kind) in ModelKind::PAPER_SET.into_iter().enumerate() {
         for stream in 0..config.streams {
             let stream_seed = config
@@ -165,19 +177,26 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult> {
                     t = placement.eviction_at;
                     continue;
                 };
-                let run =
+                let (run, log) =
                     execute_run(&fit, kind, &placement, &transfer, config, &mut transfer_rng)?;
                 t = run.evicted_at;
                 runs.push(run);
+                logs.push(log);
             }
         }
     }
     let summaries = summarize(&runs);
-    Ok(ExperimentResult { runs, summaries })
+    Ok(ExperimentResult {
+        runs,
+        logs,
+        summaries,
+    })
 }
 
 /// Execute one test-process run: the §5.2 recovery → (work → checkpoint)*
-/// protocol, terminated by eviction.
+/// protocol, terminated by eviction. The cycle machine does the
+/// accounting; this driver owns the virtual clock, the transfer-duration
+/// sampling, and the `T_opt` recomputation.
 fn execute_run(
     fit: &FittedModel,
     kind: ModelKind,
@@ -185,38 +204,59 @@ fn execute_run(
     transfer: &TransferModel,
     config: &ExperimentConfig,
     rng: &mut ChaCha8Rng,
-) -> Result<RunRecord> {
+) -> Result<(RunRecord, ProcessLog)> {
     let eviction = placement.eviction_at;
     let mut t = placement.placed_at;
-    let mut record = RunRecord {
-        machine: placement.machine,
-        model: kind,
-        placed_at: placement.placed_at,
-        age_at_placement: placement.age_at_placement,
-        evicted_at: eviction,
-        transfers: Vec::new(),
-        t_opts: Vec::new(),
-        useful_seconds: 0.0,
-        heartbeats: 0,
-    };
+    let mut transfers: Vec<TransferRecord> = Vec::new();
+    let mut t_opts: Vec<f64> = Vec::new();
+    // Work seconds accrue here, not read back from the ledger, so the
+    // heartbeat floor sees the exact same single-accumulator sum it
+    // always has (the ledger splits committed from lost work).
     let mut work_seconds_total = 0.0;
+
+    // In step-driven mode the machine only needs the image size and the
+    // byte-counting rule; phase durations are whatever the driver says.
+    let mut machine = CycleMachine::new(CycleConfig {
+        checkpoint_cost: 0.0,
+        recovery_cost: 0.0,
+        image_mb: config.image_mb,
+        count_recovery_bytes: true,
+    });
+    let mut recorder = LogRecorder::new(
+        placement.placed_at,
+        placement.machine,
+        placement.age_at_placement,
+    );
+    machine.place(eviction - placement.placed_at, &mut recorder);
 
     // Initial recovery: the manager pushes the 500 MB image and the
     // process times the transfer.
     let full = transfer.sample_duration(config.image_mb, rng);
     if t + full > eviction {
         let elapsed = eviction - t;
-        record.transfers.push(TransferRecord {
+        let megabytes = transfer.partial_megabytes(config.image_mb, elapsed, full);
+        transfers.push(TransferRecord {
             kind: TransferKind::Recovery,
             started_at: t,
             full_duration: full,
             elapsed,
             completed: false,
-            megabytes: transfer.partial_megabytes(config.image_mb, elapsed, full),
+            megabytes,
         });
-        return Ok(record);
+        machine.advance(elapsed, megabytes);
+        machine.evict(&mut recorder);
+        return Ok(finish_run(
+            machine,
+            recorder,
+            placement,
+            kind,
+            transfers,
+            t_opts,
+            work_seconds_total,
+            config.heartbeat_period,
+        ));
     }
-    record.transfers.push(TransferRecord {
+    transfers.push(TransferRecord {
         kind: TransferKind::Recovery,
         started_at: t,
         full_duration: full,
@@ -224,42 +264,69 @@ fn execute_run(
         completed: true,
         megabytes: config.image_mb,
     });
+    machine.advance(full, config.image_mb);
+    machine.complete_recovery(&mut recorder);
     t += full;
     let mut measured_cost = full;
 
     loop {
         // Recompute T_opt from the latest measured transfer time (used as
         // both C and R, per the paper) and the machine's current age.
-        let age = placement.age_at_placement + (t - placement.placed_at);
+        let age = sanitize_age(placement.age_at_placement + (t - placement.placed_at));
         let vaidya = VaidyaModel::new(fit, CheckpointCosts::symmetric(measured_cost))?;
-        let t_opt = vaidya.optimal_interval(age)?.work_seconds;
-        record.t_opts.push(t_opt);
+        let t_opt = clamp_interval(vaidya.optimal_interval(age)?.work_seconds);
+        t_opts.push(t_opt);
+        machine.start_work(t_opt, &mut recorder);
 
         // Work phase (spin + heartbeats).
         if t + t_opt >= eviction {
-            work_seconds_total += eviction - t;
-            record.heartbeats = (work_seconds_total / config.heartbeat_period) as u64;
-            return Ok(record);
+            let elapsed = eviction - t;
+            work_seconds_total += elapsed;
+            machine.advance(elapsed, 0.0);
+            machine.evict(&mut recorder);
+            return Ok(finish_run(
+                machine,
+                recorder,
+                placement,
+                kind,
+                transfers,
+                t_opts,
+                work_seconds_total,
+                config.heartbeat_period,
+            ));
         }
+        machine.advance(t_opt, 0.0);
         t += t_opt;
         work_seconds_total += t_opt;
+        machine.start_checkpoint(&mut recorder);
 
         // Checkpoint transfer back to the manager.
         let full = transfer.sample_duration(config.image_mb, rng);
         if t + full > eviction {
             let elapsed = eviction - t;
-            record.transfers.push(TransferRecord {
+            let megabytes = transfer.partial_megabytes(config.image_mb, elapsed, full);
+            transfers.push(TransferRecord {
                 kind: TransferKind::Checkpoint,
                 started_at: t,
                 full_duration: full,
                 elapsed,
                 completed: false,
-                megabytes: transfer.partial_megabytes(config.image_mb, elapsed, full),
+                megabytes,
             });
-            record.heartbeats = (work_seconds_total / config.heartbeat_period) as u64;
-            return Ok(record);
+            machine.advance(elapsed, megabytes);
+            machine.evict(&mut recorder);
+            return Ok(finish_run(
+                machine,
+                recorder,
+                placement,
+                kind,
+                transfers,
+                t_opts,
+                work_seconds_total,
+                config.heartbeat_period,
+            ));
         }
-        record.transfers.push(TransferRecord {
+        transfers.push(TransferRecord {
             kind: TransferKind::Checkpoint,
             started_at: t,
             full_duration: full,
@@ -267,10 +334,45 @@ fn execute_run(
             completed: true,
             megabytes: config.image_mb,
         });
+        machine.advance(full, config.image_mb);
+        machine.complete_checkpoint(&mut recorder);
         t += full;
-        record.useful_seconds += t_opt;
         measured_cost = full;
     }
+}
+
+/// Seal a finished run: floor the heartbeat count, take the machine's
+/// ledger, and close the log with the negotiator's eviction timestamp.
+#[allow(clippy::too_many_arguments)]
+fn finish_run(
+    machine: CycleMachine,
+    recorder: LogRecorder,
+    placement: &Placement,
+    kind: ModelKind,
+    transfers: Vec<TransferRecord>,
+    t_opts: Vec<f64>,
+    work_seconds_total: f64,
+    heartbeat_period: f64,
+) -> (RunRecord, ProcessLog) {
+    let heartbeats = (work_seconds_total / heartbeat_period) as u64;
+    debug_assert!(
+        (machine.accounting().work_seconds() - work_seconds_total).abs()
+            <= 1e-6 * work_seconds_total.max(1.0),
+        "ledger work diverged from the driver's accumulator"
+    );
+    let record = RunRecord {
+        machine: placement.machine,
+        model: kind,
+        placed_at: placement.placed_at,
+        age_at_placement: placement.age_at_placement,
+        evicted_at: placement.eviction_at,
+        transfers,
+        t_opts,
+        cycle: machine.into_accounting(),
+        heartbeats,
+    };
+    let log = recorder.finish(placement.eviction_at, heartbeats);
+    (record, log)
 }
 
 /// Build the Table 4/5 rows from raw runs.
@@ -280,7 +382,7 @@ pub fn summarize(runs: &[RunRecord]) -> Vec<ModelSummary> {
         .map(|kind| {
             let model_runs: Vec<&RunRecord> = runs.iter().filter(|r| r.model == kind).collect();
             let total: f64 = model_runs.iter().map(|r| r.occupied_seconds()).sum();
-            let useful: f64 = model_runs.iter().map(|r| r.useful_seconds).sum();
+            let useful: f64 = model_runs.iter().map(|r| r.useful_seconds()).sum();
             let mb: f64 = model_runs.iter().map(|r| r.megabytes()).sum();
             let transfer_means: Vec<f64> = model_runs
                 .iter()
@@ -347,12 +449,13 @@ mod tests {
     #[test]
     fn runs_internally_consistent() {
         let result = run_experiment(&tiny_config()).unwrap();
+        assert_eq!(result.runs.len(), result.logs.len());
         for r in &result.runs {
             assert!(r.evicted_at > r.placed_at);
-            assert!(r.useful_seconds <= r.occupied_seconds() + 1e-9);
+            assert!(r.useful_seconds() <= r.occupied_seconds() + 1e-9);
             assert!(r.age_at_placement >= 0.0);
             // Committed work requires a committed checkpoint.
-            if r.useful_seconds > 0.0 {
+            if r.useful_seconds() > 0.0 {
                 assert!(r.checkpoints_committed() > 0);
             }
             // Transfers are chronological and within the run.
@@ -372,11 +475,38 @@ mod tests {
     }
 
     #[test]
+    fn ledger_agrees_with_transfer_records() {
+        // The cycle ledger and the manager's per-transfer measurements
+        // are two views of the same run; they accumulate the same values
+        // in the same order, so the byte totals agree bitwise.
+        let result = run_experiment(&tiny_config()).unwrap();
+        for r in &result.runs {
+            let from_transfers = r
+                .transfers
+                .iter()
+                .fold(0.0f64, |acc, tr| acc + tr.megabytes);
+            assert_eq!(
+                r.cycle.megabytes.to_bits(),
+                from_transfers.to_bits(),
+                "ledger {} vs transfer records {}",
+                r.cycle.megabytes,
+                from_transfers
+            );
+            assert_eq!(r.cycle.transfers_started(), r.transfers.len() as u64);
+            assert_eq!(r.cycle.recoveries, 1, "one placement, one recovery");
+            assert!(r.cycle.conservation_residual().abs() < 1e-6);
+            // The machine clock covered the whole placement.
+            assert!((r.cycle.total_seconds - r.occupied_seconds()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
     fn deterministic() {
         let a = run_experiment(&tiny_config()).unwrap();
         let b = run_experiment(&tiny_config()).unwrap();
         assert_eq!(a.runs.len(), b.runs.len());
         assert_eq!(a.summaries, b.summaries);
+        assert_eq!(a.logs, b.logs);
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   own transfers, recomputes `T_opt` after every checkpoint with the
 //!   machine's fitted availability model, and loops until evicted.
 //!
+//! Every executor in this crate — the live-experiment runs and the
+//! shared-link contention jobs — drives a `chs_cycle::CycleMachine`, the
+//! same state machine the batch simulator executes in closed form, so
+//! all accounting flows through one `chs_cycle::CycleAccounting` ledger.
+//!
 //! The emulation is deterministic given a seed and runs in virtual time.
 
 #![deny(missing_docs)]
@@ -36,7 +41,7 @@ pub mod negotiator;
 
 pub use contention::{run_contention, ContentionConfig, ContentionResult};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, ModelSummary};
-pub use log::{LogDigest, LogEvent, ProcessLog};
+pub use log::{LogDigest, LogEvent, LogRecorder, ProcessLog};
 pub use machine::{EmulatedMachine, MachinePark};
 pub use manager::{RunRecord, TransferKind, TransferRecord};
 pub use monitor::{run_monitor, MonitorConfig};

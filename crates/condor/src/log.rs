@@ -4,20 +4,31 @@
 //!
 //! A [`ProcessLog`] is the raw, append-only record of everything the
 //! manager saw for one run: placement, every transfer start/completion/
-//! interruption, every `T_opt` the process reported, the heartbeat count,
-//! and the eviction. [`ProcessLog::digest`] recomputes the run's summary
-//! metrics *only* from the events, and a test asserts the digest agrees
-//! with the live [`RunRecord`] — i.e., the post-facto analysis pipeline
+//! interruption, every `T_opt` the process reported, per-interval work
+//! commits, the heartbeat count, and the eviction. Logs are written
+//! **live** by a [`LogRecorder`] — a `chs_cycle::CycleObserver` attached
+//! to the run's cycle machine — so every `WorkCommitted` event carries
+//! the actual seconds that interval committed (the old post-hoc
+//! reconstruction had to smear the committed total evenly over the
+//! checkpoints because the per-interval amounts were gone by then).
+//!
+//! [`ProcessLog::digest`] recomputes the run's summary metrics *only*
+//! from the events, and tests assert the digest agrees with the live
+//! [`RunRecord`] ledger — i.e., the post-facto analysis pipeline
 //! reproduces the online accounting, exactly the property the paper's
 //! methodology relies on.
 //!
 //! Logs serialize as JSON Lines (one event per line) so campaigns can be
 //! streamed to disk and replayed later.
 
-use crate::manager::{RunRecord, TransferKind};
+use crate::manager::TransferKind;
+use chs_cycle::{CycleObserver, TransferDirection};
 use chs_trace::MachineId;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
+
+#[cfg(doc)]
+use crate::manager::RunRecord;
 
 /// One event in a test-process log.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -103,65 +114,114 @@ pub struct LogDigest {
     pub efficiency: f64,
 }
 
-impl ProcessLog {
-    /// Reconstruct the event log a manager would have written for `run`.
-    pub fn from_run(run: &RunRecord) -> Self {
-        let mut events = vec![LogEvent::Placed {
-            at: run.placed_at,
-            machine: run.machine,
-            age: run.age_at_placement,
-        }];
-        let mut t_opts = run.t_opts.iter();
-        for tr in &run.transfers {
-            events.push(LogEvent::TransferStarted {
-                at: tr.started_at,
-                kind: tr.kind,
-            });
-            if tr.completed {
-                let done_at = tr.started_at + tr.elapsed;
-                events.push(LogEvent::TransferCompleted {
-                    at: done_at,
-                    seconds: tr.elapsed,
-                    megabytes: tr.megabytes,
-                });
-                if tr.kind == TransferKind::Checkpoint {
-                    // The checkpoint's completion is the commit point of
-                    // the work interval that preceded it.
-                    events.push(LogEvent::WorkCommitted {
-                        at: done_at,
-                        seconds: 0.0, // patched below from the committed total
-                    });
-                }
-                // After a completed recovery or checkpoint the process
-                // reports its next planned interval.
-                if let Some(&t_opt) = t_opts.next() {
-                    events.push(LogEvent::IntervalPlanned { at: done_at, t_opt });
-                }
-            } else {
-                events.push(LogEvent::TransferInterrupted {
-                    at: run.evicted_at,
-                    elapsed: tr.elapsed,
-                    megabytes: tr.megabytes,
-                });
-            }
+/// A [`CycleObserver`] that writes the manager's per-process log live,
+/// as the run's cycle machine emits events.
+///
+/// The machine reports machine-local timestamps (seconds since
+/// placement); the recorder offsets them by the placement time so the
+/// log is in absolute virtual time like every other manager record.
+#[derive(Debug, Clone)]
+pub struct LogRecorder {
+    placed_at: f64,
+    events: Vec<LogEvent>,
+}
+
+impl LogRecorder {
+    /// Open a log for a process placed at absolute virtual time
+    /// `placed_at` on `machine`, whose machine age was `age`.
+    pub fn new(placed_at: f64, machine: MachineId, age: f64) -> Self {
+        Self {
+            placed_at,
+            events: vec![LogEvent::Placed {
+                at: placed_at,
+                machine,
+                age,
+            }],
         }
-        // Distribute the committed work over the committed checkpoints.
-        let committed = run.checkpoints_committed();
-        if committed > 0 {
-            let share = run.useful_seconds / committed as f64;
-            for e in events.iter_mut() {
-                if let LogEvent::WorkCommitted { seconds, .. } = e {
-                    *seconds = share;
-                }
-            }
-        }
-        events.push(LogEvent::Evicted {
-            at: run.evicted_at,
-            heartbeats: run.heartbeats,
-        });
-        Self { events }
     }
 
+    /// Close the log with the eviction event and hand it over. The
+    /// eviction time is passed absolutely (the negotiator's exact
+    /// timestamp) rather than reconstructed from the machine clock.
+    pub fn finish(mut self, evicted_at: f64, heartbeats: u64) -> ProcessLog {
+        self.events.push(LogEvent::Evicted {
+            at: evicted_at,
+            heartbeats,
+        });
+        ProcessLog {
+            events: self.events,
+        }
+    }
+
+    fn abs(&self, at: f64) -> f64 {
+        self.placed_at + at
+    }
+}
+
+fn kind_of(direction: TransferDirection) -> TransferKind {
+    match direction {
+        TransferDirection::Inbound => TransferKind::Recovery,
+        TransferDirection::Outbound => TransferKind::Checkpoint,
+    }
+}
+
+impl CycleObserver for LogRecorder {
+    // `on_placed` is intentionally ignored: the Placed event needs the
+    // machine id and age, which only the driver knows, so `new` wrote it.
+
+    fn on_transfer_started(&mut self, at: f64, direction: TransferDirection) {
+        self.events.push(LogEvent::TransferStarted {
+            at: self.abs(at),
+            kind: kind_of(direction),
+        });
+    }
+
+    fn on_transfer_completed(
+        &mut self,
+        at: f64,
+        _direction: TransferDirection,
+        elapsed: f64,
+        megabytes: f64,
+    ) {
+        self.events.push(LogEvent::TransferCompleted {
+            at: self.abs(at),
+            seconds: elapsed,
+            megabytes,
+        });
+    }
+
+    fn on_transfer_interrupted(
+        &mut self,
+        at: f64,
+        _direction: TransferDirection,
+        elapsed: f64,
+        megabytes: f64,
+    ) {
+        self.events.push(LogEvent::TransferInterrupted {
+            at: self.abs(at),
+            elapsed,
+            megabytes,
+        });
+    }
+
+    fn on_interval_planned(&mut self, at: f64, planned_work: f64) {
+        self.events.push(LogEvent::IntervalPlanned {
+            at: self.abs(at),
+            t_opt: planned_work,
+        });
+    }
+
+    fn on_work_committed(&mut self, at: f64, seconds: f64) {
+        self.events.push(LogEvent::WorkCommitted {
+            at: self.abs(at),
+            seconds,
+        });
+    }
+
+    // `on_evicted` is ignored too: `finish` pins the exact eviction time.
+}
+
+impl ProcessLog {
     /// Compute the run's metrics from the events alone.
     pub fn digest(&self) -> LogDigest {
         let mut placed_at = None;
@@ -233,47 +293,89 @@ impl ProcessLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{run_experiment, ExperimentConfig};
+    use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 
-    fn some_runs() -> Vec<RunRecord> {
+    fn small_experiment() -> ExperimentResult {
         let mut config = ExperimentConfig::campus();
         config.machines = 8;
         config.streams = 1;
         config.window = 0.5 * 86_400.0;
-        run_experiment(&config).unwrap().runs
+        run_experiment(&config).unwrap()
     }
 
     #[test]
     fn digest_matches_online_accounting() {
         // The paper's post-facto pipeline: for every run, the log digest
-        // must reproduce the online RunRecord numbers exactly.
-        let runs = some_runs();
-        assert!(!runs.is_empty());
-        for run in &runs {
-            let log = ProcessLog::from_run(run);
+        // must reproduce the online ledger. Useful seconds and megabytes
+        // fold the same event sequence the ledger folded, so they agree
+        // bitwise, not just within a tolerance.
+        let result = small_experiment();
+        assert!(!result.runs.is_empty());
+        assert_eq!(result.runs.len(), result.logs.len());
+        for (run, log) in result.runs.iter().zip(&result.logs) {
             let d = log.digest();
-            assert!(
-                (d.useful_seconds - run.useful_seconds).abs() < 1e-6,
-                "useful"
+            assert_eq!(
+                d.useful_seconds.to_bits(),
+                run.cycle.useful_seconds.to_bits(),
+                "useful: {} vs {}",
+                d.useful_seconds,
+                run.cycle.useful_seconds
             );
-            assert!(
-                (d.occupied_seconds - run.occupied_seconds()).abs() < 1e-9,
-                "occupied"
+            assert_eq!(
+                d.megabytes.to_bits(),
+                run.cycle.megabytes.to_bits(),
+                "megabytes: {} vs {}",
+                d.megabytes,
+                run.cycle.megabytes
             );
-            assert!((d.megabytes - run.megabytes()).abs() < 1e-6, "megabytes");
+            assert_eq!(d.occupied_seconds, run.occupied_seconds());
             assert_eq!(d.checkpoints_committed, run.checkpoints_committed());
-            assert!((d.efficiency - run.efficiency()).abs() < 1e-9);
+            assert!((d.efficiency - run.efficiency()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn work_commits_carry_their_planned_interval() {
+        // Live recording restored the per-interval amounts: every
+        // WorkCommitted credits exactly the T_opt planned for it.
+        let result = small_experiment();
+        let mut commits = 0;
+        for log in &result.logs {
+            let mut pending: Option<f64> = None;
+            for e in &log.events {
+                match e {
+                    LogEvent::IntervalPlanned { t_opt, .. } => pending = Some(*t_opt),
+                    LogEvent::WorkCommitted { seconds, .. } => {
+                        assert_eq!(Some(*seconds), pending, "commit credits its plan");
+                        commits += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(commits > 0, "experiment committed no work at all");
+    }
+
+    #[test]
+    fn eviction_event_carries_heartbeats() {
+        let result = small_experiment();
+        for (run, log) in result.runs.iter().zip(&result.logs) {
+            let Some(LogEvent::Evicted { at, heartbeats }) = log.events.last() else {
+                panic!("log does not end with an eviction");
+            };
+            assert_eq!(*at, run.evicted_at);
+            assert_eq!(*heartbeats, run.heartbeats);
         }
     }
 
     #[test]
     fn jsonl_roundtrip() {
-        let runs = some_runs();
-        let log = ProcessLog::from_run(&runs[0]);
+        let result = small_experiment();
+        let log = &result.logs[0];
         let mut buf = Vec::new();
         log.write_jsonl(&mut buf).unwrap();
         let back = ProcessLog::read_jsonl(buf.as_slice()).unwrap();
-        assert_eq!(log, back);
+        assert_eq!(log, &back);
         assert_eq!(log.digest(), back.digest());
     }
 
@@ -297,8 +399,8 @@ mod tests {
 
     #[test]
     fn events_chronological() {
-        for run in &some_runs() {
-            let log = ProcessLog::from_run(run);
+        let result = small_experiment();
+        for log in &result.logs {
             let times: Vec<f64> = log
                 .events
                 .iter()

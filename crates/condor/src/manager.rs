@@ -2,6 +2,7 @@
 //! and the per-run log from which efficiency and network load are
 //! computed *post facto* (paper §5.2).
 
+use chs_cycle::CycleAccounting;
 use chs_dist::ModelKind;
 use chs_trace::MachineId;
 use serde::{Deserialize, Serialize};
@@ -34,6 +35,12 @@ pub struct TransferRecord {
 
 /// The manager's log for one test-process run (one placement → one
 /// eviction).
+///
+/// All cycle accounting — useful/lost seconds, megabytes, checkpoint and
+/// recovery counts — lives in the shared [`CycleAccounting`] ledger kept
+/// by the run's `chs_cycle::CycleMachine`; this record adds what is
+/// specific to the live experiment: placement metadata, the manager's
+/// per-transfer measurements, the `T_opt` sequence, and heartbeats.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunRecord {
     /// Machine the process ran on.
@@ -50,9 +57,8 @@ pub struct RunRecord {
     pub transfers: Vec<TransferRecord>,
     /// The sequence of `T_opt` values the process computed.
     pub t_opts: Vec<f64>,
-    /// Seconds of committed work (work intervals whose checkpoint
-    /// transfer completed).
-    pub useful_seconds: f64,
+    /// The run's cycle ledger (committed work, megabytes, counts).
+    pub cycle: CycleAccounting,
     /// Heartbeat messages received (one per 10 s of execution).
     pub heartbeats: u64,
 }
@@ -63,16 +69,22 @@ impl RunRecord {
         self.evicted_at - self.placed_at
     }
 
+    /// Seconds of committed work (work intervals whose checkpoint
+    /// transfer completed).
+    pub fn useful_seconds(&self) -> f64 {
+        self.cycle.useful_seconds
+    }
+
     /// Total megabytes moved during the run.
     pub fn megabytes(&self) -> f64 {
-        self.transfers.iter().map(|t| t.megabytes).sum()
+        self.cycle.megabytes
     }
 
     /// Run efficiency: committed work over occupied time.
     pub fn efficiency(&self) -> f64 {
         let occ = self.occupied_seconds();
         if occ > 0.0 {
-            self.useful_seconds / occ
+            self.useful_seconds() / occ
         } else {
             0.0
         }
@@ -80,10 +92,7 @@ impl RunRecord {
 
     /// Checkpoints that committed.
     pub fn checkpoints_committed(&self) -> u64 {
-        self.transfers
-            .iter()
-            .filter(|t| t.kind == TransferKind::Checkpoint && t.completed)
-            .count() as u64
+        self.cycle.checkpoints_committed
     }
 
     /// Mean duration of the run's *completed* transfers — the measured
@@ -141,7 +150,17 @@ mod tests {
                 },
             ],
             t_opts: vec![1_390.0, 2_330.0],
-            useful_seconds: 1_390.0,
+            cycle: CycleAccounting {
+                useful_seconds: 1_390.0,
+                megabytes: 1_250.0,
+                checkpoints_committed: 1,
+                checkpoints_attempted: 2,
+                recoveries: 1,
+                recoveries_completed: 1,
+                full_megabytes: 1_000.0,
+                partial_megabytes: 250.0,
+                ..Default::default()
+            },
             heartbeats: 139,
         }
     }
@@ -157,6 +176,20 @@ mod tests {
     }
 
     #[test]
+    fn ledger_agrees_with_transfer_records() {
+        // The per-transfer measurements and the cycle ledger describe the
+        // same bytes.
+        let r = record();
+        let from_transfers: f64 = r.transfers.iter().map(|t| t.megabytes).sum();
+        assert_eq!(r.megabytes(), from_transfers);
+        assert_eq!(
+            r.cycle.transfers_started(),
+            r.transfers.len() as u64,
+            "one ledger attempt per transfer record"
+        );
+    }
+
+    #[test]
     fn empty_run_is_safe() {
         let r = RunRecord {
             machine: MachineId(0),
@@ -166,7 +199,7 @@ mod tests {
             evicted_at: 10.0,
             transfers: vec![],
             t_opts: vec![],
-            useful_seconds: 0.0,
+            cycle: CycleAccounting::default(),
             heartbeats: 0,
         };
         assert_eq!(r.efficiency(), 0.0);

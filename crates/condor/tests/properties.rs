@@ -1,6 +1,6 @@
 //! Property-based tests for the Condor emulation.
 
-use chs_condor::{run_experiment, ExperimentConfig, ProcessLog, TransferKind};
+use chs_condor::{run_experiment, ExperimentConfig, TransferKind};
 use proptest::prelude::*;
 
 fn config(seed: u64, machines: usize) -> ExperimentConfig {
@@ -23,14 +23,17 @@ proptest! {
         for r in &result.runs {
             prop_assert!(r.evicted_at > r.placed_at);
             prop_assert!(r.age_at_placement >= 0.0);
-            prop_assert!(r.useful_seconds >= 0.0);
-            prop_assert!(r.useful_seconds <= r.occupied_seconds() + 1e-9);
+            prop_assert!(r.useful_seconds() >= 0.0);
+            prop_assert!(r.useful_seconds() <= r.occupied_seconds() + 1e-9);
+            // The shared ledger balances its books on every run.
+            prop_assert!(r.cycle.conservation_residual().abs() < 1e-6);
+            prop_assert_eq!(r.cycle.transfers_started(), r.transfers.len() as u64);
             // First transfer is always the recovery; committed work needs
             // a committed checkpoint.
             if let Some(first) = r.transfers.first() {
                 prop_assert!(first.kind == TransferKind::Recovery);
             }
-            if r.useful_seconds > 0.0 {
+            if r.useful_seconds() > 0.0 {
                 prop_assert!(r.checkpoints_committed() > 0);
             }
             // At most one interrupted transfer per run, and only at the end.
@@ -50,14 +53,16 @@ proptest! {
         prop_assert_eq!(total_runs, result.runs.len());
     }
 
-    /// The post-facto log digest reproduces every run's metrics for any
-    /// seed (not just the fixed one in the unit tests).
+    /// The post-facto digest of the live-recorded log reproduces every
+    /// run's metrics for any seed (not just the fixed one in the unit
+    /// tests).
     #[test]
     fn log_digest_faithful(seed in 0u64..5_000) {
         let result = run_experiment(&config(seed, 6)).unwrap();
-        for r in &result.runs {
-            let d = ProcessLog::from_run(r).digest();
-            prop_assert!((d.useful_seconds - r.useful_seconds).abs() < 1e-6);
+        prop_assert_eq!(result.logs.len(), result.runs.len());
+        for (r, log) in result.runs.iter().zip(&result.logs) {
+            let d = log.digest();
+            prop_assert!((d.useful_seconds - r.useful_seconds()).abs() < 1e-6);
             prop_assert!((d.megabytes - r.megabytes()).abs() < 1e-6);
             prop_assert_eq!(d.checkpoints_committed, r.checkpoints_committed());
         }

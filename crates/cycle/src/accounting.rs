@@ -1,0 +1,288 @@
+//! The unified checkpoint-cycle ledger.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of running the checkpoint cycle over any executor — the one
+/// accounting struct behind the batch simulator's `SimResult`, the live
+/// experiment's per-run record, and the contention model's per-job
+/// totals.
+///
+/// Time conservation holds exactly:
+/// `useful + lost + recovery + checkpoint = total`.
+///
+/// The first block of fields is the historical `SimResult` layout (same
+/// names, same meanings, updated by the same arithmetic, so ports are
+/// bitwise-faithful). The second block refines it: full vs partial
+/// megabytes, work-only losses, and partial recovery time, so log replay
+/// and timeline reconstruction can account interrupted phases instead of
+/// dropping them.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CycleAccounting {
+    /// Seconds of work credited (work intervals whose checkpoint
+    /// committed).
+    pub useful_seconds: f64,
+    /// Seconds spent on work or partial checkpoints that were lost to
+    /// failures or the end of the observation window.
+    pub lost_seconds: f64,
+    /// Seconds spent in recovery phases (completed or cut off).
+    pub recovery_seconds: f64,
+    /// Seconds spent in checkpoint phases that committed.
+    pub checkpoint_seconds: f64,
+    /// Total machine-available seconds consumed.
+    pub total_seconds: f64,
+    /// Megabytes that crossed the network: recoveries + checkpoints,
+    /// including the partial bytes of interrupted transfers.
+    pub megabytes: f64,
+    /// Checkpoints that committed.
+    pub checkpoints_committed: u64,
+    /// Checkpoint attempts (committed + interrupted).
+    pub checkpoints_attempted: u64,
+    /// Recovery attempts.
+    pub recoveries: u64,
+    /// Failures (availability segments that ended while the job held the
+    /// machine).
+    pub failures: u64,
+    /// Recoveries that completed (the rest were cut off mid-transfer).
+    pub recoveries_completed: u64,
+    /// Megabytes from transfers that ran to completion.
+    pub full_megabytes: f64,
+    /// Megabytes from transfers cut off mid-flight.
+    pub partial_megabytes: f64,
+    /// Work seconds performed but never committed (subset of
+    /// `lost_seconds`; the remainder is partial checkpoint transfer
+    /// time).
+    pub lost_work_seconds: f64,
+    /// Recovery seconds spent in recoveries that were cut off (subset of
+    /// `recovery_seconds`).
+    pub partial_recovery_seconds: f64,
+}
+
+impl CycleAccounting {
+    /// Fraction of available machine time spent doing useful work —
+    /// the y-axis of the paper's Figure 3.
+    pub fn efficiency(&self) -> f64 {
+        if self.total_seconds > 0.0 {
+            self.useful_seconds / self.total_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Network megabytes per hour of available machine time —
+    /// the normalization used in Tables 4–5.
+    pub fn megabytes_per_hour(&self) -> f64 {
+        if self.total_seconds > 0.0 {
+            self.megabytes / (self.total_seconds / 3_600.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Exact time-conservation residual (should be ~0; exposed so tests
+    /// and assertions can check it).
+    pub fn conservation_residual(&self) -> f64 {
+        self.useful_seconds + self.lost_seconds + self.recovery_seconds + self.checkpoint_seconds
+            - self.total_seconds
+    }
+
+    /// Merge another ledger into this one (summing a job's lifetime over
+    /// several traces, or a pool of machines into an aggregate).
+    pub fn absorb(&mut self, other: &CycleAccounting) {
+        self.useful_seconds += other.useful_seconds;
+        self.lost_seconds += other.lost_seconds;
+        self.recovery_seconds += other.recovery_seconds;
+        self.checkpoint_seconds += other.checkpoint_seconds;
+        self.total_seconds += other.total_seconds;
+        self.megabytes += other.megabytes;
+        self.checkpoints_committed += other.checkpoints_committed;
+        self.checkpoints_attempted += other.checkpoints_attempted;
+        self.recoveries += other.recoveries;
+        self.failures += other.failures;
+        self.recoveries_completed += other.recoveries_completed;
+        self.full_megabytes += other.full_megabytes;
+        self.partial_megabytes += other.partial_megabytes;
+        self.lost_work_seconds += other.lost_work_seconds;
+        self.partial_recovery_seconds += other.partial_recovery_seconds;
+    }
+
+    /// Transfers started (recoveries + checkpoint attempts) — the
+    /// contention model's `transfers_started`.
+    pub fn transfers_started(&self) -> u64 {
+        self.recoveries + self.checkpoints_attempted
+    }
+
+    /// Total work seconds performed, committed or not — what the live
+    /// experiment's heartbeat counter ticks against.
+    pub fn work_seconds(&self) -> f64 {
+        self.useful_seconds + self.lost_work_seconds
+    }
+
+    // ---- transition mutators -------------------------------------------
+    //
+    // Both drivers (closed-form and step-driven) account through these,
+    // so the arithmetic per transition is written exactly once. Each
+    // keeps the historical engine's operation order on the `SimResult`-
+    // compatible fields.
+
+    /// A recovery began (a placement / segment start).
+    pub(crate) fn recovery_started(&mut self) {
+        self.recoveries += 1;
+    }
+
+    /// The recovery transfer completed after `elapsed` seconds, moving
+    /// `megabytes` countable megabytes (0 when recovery bytes are not
+    /// counted).
+    pub(crate) fn recovery_completed(&mut self, elapsed: f64, megabytes: f64) {
+        self.recovery_seconds += elapsed;
+        self.megabytes += megabytes;
+        self.recoveries_completed += 1;
+        self.full_megabytes += megabytes;
+    }
+
+    /// The recovery transfer was cut off after `elapsed` seconds with
+    /// `megabytes` partial megabytes across the wire.
+    pub(crate) fn recovery_interrupted(&mut self, elapsed: f64, megabytes: f64, failed: bool) {
+        self.recovery_seconds += elapsed;
+        self.megabytes += megabytes;
+        if failed {
+            self.failures += 1;
+        }
+        self.partial_recovery_seconds += elapsed;
+        self.partial_megabytes += megabytes;
+    }
+
+    /// A work phase ended uncommitted after `elapsed` seconds (eviction
+    /// or window cutoff before its checkpoint could start).
+    pub(crate) fn work_lost(&mut self, elapsed: f64, failed: bool) {
+        self.lost_seconds += elapsed;
+        if failed {
+            self.failures += 1;
+        }
+        self.lost_work_seconds += elapsed;
+    }
+
+    /// A checkpoint transfer was cut off `elapsed` seconds in, losing the
+    /// preceding `planned_work` seconds of work and moving `megabytes`
+    /// partial megabytes.
+    pub(crate) fn checkpoint_interrupted(
+        &mut self,
+        planned_work: f64,
+        elapsed: f64,
+        megabytes: f64,
+        failed: bool,
+    ) {
+        self.lost_seconds += planned_work + elapsed;
+        self.checkpoints_attempted += 1;
+        self.megabytes += megabytes;
+        if failed {
+            self.failures += 1;
+        }
+        self.lost_work_seconds += planned_work;
+        self.partial_megabytes += megabytes;
+    }
+
+    /// A work interval committed: `work` seconds credited, its checkpoint
+    /// took `checkpoint_elapsed` seconds and moved `megabytes`.
+    pub(crate) fn interval_committed(
+        &mut self,
+        work: f64,
+        checkpoint_elapsed: f64,
+        megabytes: f64,
+    ) {
+        self.useful_seconds += work;
+        self.checkpoint_seconds += checkpoint_elapsed;
+        self.megabytes += megabytes;
+        self.checkpoints_attempted += 1;
+        self.checkpoints_committed += 1;
+        self.full_megabytes += megabytes;
+    }
+
+    /// The segment ended exactly at a commit boundary: nothing in flight,
+    /// but the next segment still starts with a recovery.
+    pub(crate) fn segment_exhausted(&mut self) {
+        self.failures += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_and_rates() {
+        let r = CycleAccounting {
+            useful_seconds: 3_600.0,
+            total_seconds: 7_200.0,
+            megabytes: 1_000.0,
+            ..Default::default()
+        };
+        assert!((r.efficiency() - 0.5).abs() < 1e-12);
+        assert!((r.megabytes_per_hour() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_is_safe() {
+        let r = CycleAccounting::default();
+        assert_eq!(r.efficiency(), 0.0);
+        assert_eq!(r.megabytes_per_hour(), 0.0);
+        assert_eq!(r.conservation_residual(), 0.0);
+        assert_eq!(r.transfers_started(), 0);
+    }
+
+    #[test]
+    fn absorb_sums_every_field() {
+        let mut a = CycleAccounting {
+            useful_seconds: 10.0,
+            total_seconds: 20.0,
+            failures: 2,
+            partial_megabytes: 3.0,
+            lost_work_seconds: 1.0,
+            ..Default::default()
+        };
+        let b = CycleAccounting {
+            useful_seconds: 5.0,
+            total_seconds: 10.0,
+            failures: 1,
+            partial_megabytes: 4.0,
+            lost_work_seconds: 2.0,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.useful_seconds, 15.0);
+        assert_eq!(a.total_seconds, 30.0);
+        assert_eq!(a.failures, 3);
+        assert_eq!(a.partial_megabytes, 7.0);
+        assert_eq!(a.lost_work_seconds, 3.0);
+        assert!((a.efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutators_conserve_time() {
+        let mut r = CycleAccounting::default();
+        r.total_seconds += 1_000.0;
+        r.recovery_started();
+        r.recovery_completed(50.0, 500.0);
+        r.interval_committed(200.0, 50.0, 500.0);
+        r.work_lost(700.0, true);
+        assert!(r.conservation_residual().abs() < 1e-9);
+        assert_eq!(r.failures, 1);
+        assert_eq!(r.checkpoints_committed, 1);
+        assert_eq!(r.transfers_started(), 2);
+        assert_eq!(r.full_megabytes, 1_000.0);
+        assert_eq!(r.partial_megabytes, 0.0);
+    }
+
+    #[test]
+    fn partial_splits_track_the_total() {
+        let mut r = CycleAccounting::default();
+        r.recovery_started();
+        r.recovery_interrupted(20.0, 200.0, true);
+        r.recovery_started();
+        r.recovery_completed(50.0, 500.0);
+        r.checkpoint_interrupted(300.0, 30.0, 300.0, true);
+        assert_eq!(r.megabytes, r.full_megabytes + r.partial_megabytes);
+        assert_eq!(r.partial_recovery_seconds, 20.0);
+        assert_eq!(r.lost_work_seconds, 300.0);
+        assert_eq!(r.lost_seconds, 330.0);
+    }
+}

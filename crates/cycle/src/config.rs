@@ -1,0 +1,76 @@
+//! Cycle parameters (costs in seconds, image size in megabytes).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the checkpoint cycle. For closed-form execution the
+/// costs are the fixed transfer times; for step-driven execution the
+/// drivers supply per-transfer durations and only `image_mb` /
+/// `count_recovery_bytes` matter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleConfig {
+    /// Checkpoint cost `C` — time to transfer one image to the manager.
+    pub checkpoint_cost: f64,
+    /// Recovery cost `R` — time to transfer one image back.
+    pub recovery_cost: f64,
+    /// Checkpoint image size (megabytes); the paper uses 500.
+    pub image_mb: f64,
+    /// Whether recovery transfers count toward network megabytes (they
+    /// traverse the same shared network; the paper's live experiment
+    /// counts them).
+    pub count_recovery_bytes: bool,
+}
+
+impl CycleConfig {
+    /// The paper's setting: `C = R` (same path both ways), 500 MB images,
+    /// recovery bytes counted.
+    pub fn paper(checkpoint_cost: f64) -> Self {
+        Self {
+            checkpoint_cost,
+            recovery_cost: checkpoint_cost,
+            image_mb: 500.0,
+            count_recovery_bytes: true,
+        }
+    }
+
+    /// Check that costs and image size are finite and non-negative.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let ok = self.checkpoint_cost.is_finite()
+            && self.checkpoint_cost >= 0.0
+            && self.recovery_cost.is_finite()
+            && self.recovery_cost >= 0.0
+            && self.image_mb.is_finite()
+            && self.image_mb >= 0.0;
+        if ok {
+            Ok(())
+        } else {
+            Err("costs and image size must be finite, >= 0")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = CycleConfig::paper(110.0);
+        assert_eq!(c.recovery_cost, 110.0);
+        assert_eq!(c.image_mb, 500.0);
+        assert!(c.count_recovery_bytes);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = CycleConfig::paper(50.0);
+        c.checkpoint_cost = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = CycleConfig::paper(50.0);
+        c.image_mb = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = CycleConfig::paper(50.0);
+        c.recovery_cost = f64::INFINITY;
+        assert!(c.validate().is_err());
+    }
+}

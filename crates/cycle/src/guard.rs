@@ -1,0 +1,69 @@
+//! The one work-interval guard.
+//!
+//! Every executor used to clamp its planned intervals independently
+//! (`policy.next_interval(age).max(1e-6)` in the engine and the timeline
+//! replay; nothing at all in the condor call sites) and only the cached
+//! policy sanitized NaN ages. Divergent guards are exactly the kind of
+//! silent semantic drift the shared machine exists to prevent, so the
+//! guard lives here and everyone plans through it.
+
+/// The smallest work interval any executor will attempt, seconds. A
+/// degenerate policy (zero, negative, or NaN plan) degrades to this
+/// instead of wedging the cycle.
+pub const MIN_WORK_SECONDS: f64 = 1e-6;
+
+/// Sanitize a machine age before querying a policy: a NaN age (seen from
+/// corrupted traces) is treated as age 0 — the youngest, most
+/// conservative conditioning — rather than poisoning the policy's
+/// lookup.
+pub fn sanitize_age(age: f64) -> f64 {
+    if age.is_nan() {
+        0.0
+    } else {
+        age
+    }
+}
+
+/// Clamp a planned work interval to [`MIN_WORK_SECONDS`]. `f64::max`
+/// already maps a NaN plan to the floor.
+pub fn clamp_interval(planned: f64) -> f64 {
+    planned.max(MIN_WORK_SECONDS)
+}
+
+/// Plan one work interval through the shared guard: sanitize the age,
+/// query the policy, clamp the result.
+pub fn guarded_interval(age: f64, next_interval: impl FnOnce(f64) -> f64) -> f64 {
+    clamp_interval(next_interval(sanitize_age(age)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_degenerate_plans() {
+        assert_eq!(clamp_interval(0.0), MIN_WORK_SECONDS);
+        assert_eq!(clamp_interval(-5.0), MIN_WORK_SECONDS);
+        assert_eq!(clamp_interval(f64::NAN), MIN_WORK_SECONDS);
+        assert_eq!(clamp_interval(42.0), 42.0);
+    }
+
+    #[test]
+    fn sanitizes_nan_age_only() {
+        assert_eq!(sanitize_age(f64::NAN), 0.0);
+        assert_eq!(sanitize_age(17.5), 17.5);
+        assert_eq!(sanitize_age(f64::INFINITY), f64::INFINITY);
+        assert_eq!(sanitize_age(-3.0), -3.0);
+    }
+
+    #[test]
+    fn guarded_interval_composes_both() {
+        // NaN age reaches the policy as 0; NaN plan clamps to the floor.
+        let t = guarded_interval(f64::NAN, |age| {
+            assert_eq!(age, 0.0);
+            f64::NAN
+        });
+        assert_eq!(t, MIN_WORK_SECONDS);
+        assert_eq!(guarded_interval(100.0, |age| age * 2.0), 200.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! The cycle event tap.
+//!
+//! Both drivers — the closed-form segment executor and the step-driven
+//! [`crate::CycleMachine`] — report the *same* event vocabulary through
+//! [`CycleObserver`]. Timeline recording, the checkpoint manager's
+//! per-process logs, and visualizations are observers of one engine
+//! pass, not parallel re-implementations of the cycle.
+//!
+//! All timestamps are machine-local: seconds since the current placement
+//! (equivalently, the machine's age). Drivers that work in absolute
+//! virtual time offset by their placement time.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of a transfer relative to the executing machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferDirection {
+    /// Manager → machine: recovery of the memory image.
+    Inbound,
+    /// Machine → manager: a checkpoint.
+    Outbound,
+}
+
+/// How one planned work interval ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntervalOutcome {
+    /// Work and checkpoint both finished; work credited.
+    Committed,
+    /// Evicted during the work phase.
+    FailedInWork,
+    /// Evicted during the checkpoint transfer.
+    FailedInCheckpoint,
+}
+
+/// Receives cycle events as they happen. Every method is a default
+/// no-op, so observers implement only what they need; `at` is seconds
+/// since placement.
+pub trait CycleObserver {
+    /// The machine was placed / an availability segment began.
+    /// `expected_duration` is the segment length when the driver knows it
+    /// up front (batch simulation, pre-scheduled evictions) and NaN when
+    /// it does not.
+    fn on_placed(&mut self, expected_duration: f64) {
+        let _ = expected_duration;
+    }
+
+    /// A transfer started.
+    fn on_transfer_started(&mut self, at: f64, direction: TransferDirection) {
+        let _ = (at, direction);
+    }
+
+    /// A transfer ran to completion.
+    fn on_transfer_completed(
+        &mut self,
+        at: f64,
+        direction: TransferDirection,
+        elapsed: f64,
+        megabytes: f64,
+    ) {
+        let _ = (at, direction, elapsed, megabytes);
+    }
+
+    /// A transfer was cut off (eviction or window end) with `megabytes`
+    /// partial megabytes across the wire.
+    fn on_transfer_interrupted(
+        &mut self,
+        at: f64,
+        direction: TransferDirection,
+        elapsed: f64,
+        megabytes: f64,
+    ) {
+        let _ = (at, direction, elapsed, megabytes);
+    }
+
+    /// A work interval of `planned_work` seconds was planned; `at` is the
+    /// age at which its work begins.
+    fn on_interval_planned(&mut self, at: f64, planned_work: f64) {
+        let _ = (at, planned_work);
+    }
+
+    /// A checkpoint committed, crediting `seconds` of work.
+    fn on_work_committed(&mut self, at: f64, seconds: f64) {
+        let _ = (at, seconds);
+    }
+
+    /// The machine was reclaimed (or the observation window closed); the
+    /// placement is over.
+    fn on_evicted(&mut self, at: f64) {
+        let _ = at;
+    }
+}
+
+/// The default observer: ignores everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl CycleObserver for NoopObserver {}

@@ -1,52 +1,20 @@
-//! The per-trace simulation engine.
+//! The per-trace simulation engine — a thin closed-form driver over the
+//! shared [`chs_cycle`] state machine.
+//!
+//! The cycle arithmetic itself lives in [`chs_cycle::run_segment`]
+//! (operation-for-operation identical to the loop that used to live
+//! here; `tests/frozen_engine.rs` pins the port bitwise against a frozen
+//! copy). This module owns only what is simulator-specific: validating
+//! configurations and traces, and mapping failures into [`SimError`].
 
 use crate::metrics::SimResult;
 use crate::policy::SchedulePolicy;
 use crate::{Result, SimError};
+use chs_cycle::{run_trace, CycleObserver, NoopObserver};
 
-/// Simulation parameters (costs in seconds, image size in megabytes).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SimConfig {
-    /// Checkpoint cost `C` — time to transfer one image to the manager.
-    pub checkpoint_cost: f64,
-    /// Recovery cost `R` — time to transfer one image back.
-    pub recovery_cost: f64,
-    /// Checkpoint image size (megabytes); the paper uses 500.
-    pub image_mb: f64,
-    /// Whether recovery transfers count toward network megabytes (they
-    /// traverse the same shared network; the paper's live experiment
-    /// counts them).
-    pub count_recovery_bytes: bool,
-}
-
-impl SimConfig {
-    /// The paper's setting: `C = R` (same path both ways), 500 MB images,
-    /// recovery bytes counted.
-    pub fn paper(checkpoint_cost: f64) -> Self {
-        Self {
-            checkpoint_cost,
-            recovery_cost: checkpoint_cost,
-            image_mb: 500.0,
-            count_recovery_bytes: true,
-        }
-    }
-
-    fn validate(&self) -> Result<()> {
-        let ok = self.checkpoint_cost.is_finite()
-            && self.checkpoint_cost >= 0.0
-            && self.recovery_cost.is_finite()
-            && self.recovery_cost >= 0.0
-            && self.image_mb.is_finite()
-            && self.image_mb >= 0.0;
-        if ok {
-            Ok(())
-        } else {
-            Err(SimError::InvalidConfig {
-                message: "costs and image size must be finite, >= 0",
-            })
-        }
-    }
-}
+/// Simulation parameters — the shared [`chs_cycle::CycleConfig`] under
+/// its historical name.
+pub use chs_cycle::CycleConfig as SimConfig;
 
 /// Simulate a steady-state job over a machine's availability durations.
 ///
@@ -58,85 +26,33 @@ pub fn simulate_trace(
     policy: &dyn SchedulePolicy,
     config: &SimConfig,
 ) -> Result<SimResult> {
-    config.validate()?;
+    simulate_trace_observed(durations, policy, config, &mut NoopObserver)
+}
+
+/// [`simulate_trace`] with a [`CycleObserver`] attached to the single
+/// engine pass — how [`crate::simulate_with_timeline`] records structure
+/// without simulating twice.
+pub fn simulate_trace_observed(
+    durations: &[f64],
+    policy: &dyn SchedulePolicy,
+    config: &SimConfig,
+    obs: &mut dyn CycleObserver,
+) -> Result<SimResult> {
+    config
+        .validate()
+        .map_err(|message| SimError::InvalidConfig { message })?;
     if durations.iter().any(|d| !d.is_finite() || *d <= 0.0) {
         return Err(SimError::InvalidConfig {
             message: "durations must be finite and positive",
         });
     }
-    let mut r = SimResult::default();
-    for &segment in durations {
-        simulate_segment(segment, policy, config, &mut r);
-    }
+    let r = run_trace(durations, policy, config, obs);
     debug_assert!(
         r.conservation_residual().abs() <= 1e-6 * r.total_seconds.max(1.0),
         "time conservation violated: residual {}",
         r.conservation_residual()
     );
     Ok(r)
-}
-
-/// One availability segment of length `a` seconds.
-fn simulate_segment(a: f64, policy: &dyn SchedulePolicy, config: &SimConfig, r: &mut SimResult) {
-    let c = config.checkpoint_cost;
-    let rec = config.recovery_cost;
-    let image = config.image_mb;
-    r.total_seconds += a;
-    r.recoveries += 1;
-
-    // Phase 1: recovery.
-    if a < rec {
-        // Evicted mid-recovery: the partial inbound transfer still crossed
-        // the network.
-        r.recovery_seconds += a;
-        if config.count_recovery_bytes && rec > 0.0 {
-            r.megabytes += image * (a / rec);
-        }
-        r.failures += 1;
-        return;
-    }
-    r.recovery_seconds += rec;
-    if config.count_recovery_bytes {
-        r.megabytes += image;
-    }
-    let mut age = rec;
-
-    // Phase 2: work/checkpoint cycles until eviction.
-    loop {
-        let t = policy.next_interval(age).max(1e-6);
-        if age + t >= a {
-            // Evicted during (or exactly at the end of) the work phase:
-            // everything since the last committed checkpoint is lost.
-            r.lost_seconds += a - age;
-            r.failures += 1;
-            return;
-        }
-        if age + t + c > a {
-            // Evicted during the checkpoint transfer: the work and the
-            // partial outbound bytes are lost.
-            let ckpt_elapsed = a - (age + t);
-            r.lost_seconds += t + ckpt_elapsed;
-            r.checkpoints_attempted += 1;
-            if c > 0.0 {
-                r.megabytes += image * (ckpt_elapsed / c);
-            }
-            r.failures += 1;
-            return;
-        }
-        // Interval committed.
-        r.useful_seconds += t;
-        r.checkpoint_seconds += c;
-        r.megabytes += image;
-        r.checkpoints_attempted += 1;
-        r.checkpoints_committed += 1;
-        age += t + c;
-        if age >= a {
-            // Segment exhausted exactly at the commit boundary; the next
-            // segment still starts with a recovery.
-            r.failures += 1;
-            return;
-        }
-    }
 }
 
 #[cfg(test)]
@@ -170,6 +86,19 @@ mod tests {
         let p = FixedIntervalPolicy { interval: 100.0 };
         assert!(simulate_trace(&[100.0, -5.0], &p, &cfg(10.0)).is_err());
         assert!(simulate_trace(&[f64::INFINITY], &p, &cfg(10.0)).is_err());
+    }
+
+    #[test]
+    fn bad_config_surfaces_as_sim_error() {
+        let p = FixedIntervalPolicy { interval: 100.0 };
+        let bad = SimConfig {
+            recovery_cost: f64::INFINITY,
+            ..cfg(10.0)
+        };
+        match simulate_trace(&[100.0], &p, &bad) {
+            Err(SimError::InvalidConfig { .. }) => {}
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]
@@ -225,6 +154,11 @@ mod tests {
         assert!((r.recovery_seconds - 20.0).abs() < 1e-9);
         assert!((r.megabytes - 500.0 * 20.0 / 50.0).abs() < 1e-9);
         assert_eq!(r.efficiency(), 0.0);
+        // The refined ledger keeps the partial recovery visible instead of
+        // folding it silently into the totals.
+        assert!((r.partial_recovery_seconds - 20.0).abs() < 1e-9);
+        assert!((r.partial_megabytes - 200.0).abs() < 1e-9);
+        assert_eq!(r.recoveries_completed, 0);
     }
 
     #[test]

@@ -26,14 +26,17 @@ pub mod policy;
 pub mod sweep;
 pub mod timeline;
 
-pub use engine::{simulate_trace, SimConfig};
+pub use engine::{simulate_trace, simulate_trace_observed, SimConfig};
 pub use metrics::SimResult;
 pub use policy::{CachedPolicy, FixedIntervalPolicy, ModelPolicy, SchedulePolicy};
 pub use sweep::{
     prepare_experiments, sweep_paper_grid, sweep_paper_grid_reference, sweep_paper_grid_serial,
     MachineExperiment, SweepCell, SweepGrid,
 };
-pub use timeline::{simulate_with_timeline, IntervalOutcome, SegmentRecord, Timeline};
+pub use timeline::{
+    simulate_with_timeline, IntervalOutcome, IntervalRecord, SegmentRecord, Timeline,
+    TimelineBuilder,
+};
 
 /// Errors from the simulator.
 #[derive(Debug, Clone, PartialEq)]

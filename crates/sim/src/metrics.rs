@@ -1,82 +1,12 @@
-//! Simulation accounting.
-
-use serde::{Deserialize, Serialize};
+//! Simulation accounting — the shared [`chs_cycle::CycleAccounting`]
+//! ledger under its historical simulator name. Field names, meanings,
+//! and update arithmetic are unchanged from the original `SimResult`
+//! (the unified ledger is a strict superset: it adds full/partial
+//! megabyte splits, uncommitted-work seconds, and partial recovery
+//! time).
 
 /// Outcome of simulating one job over one availability trace.
-///
-/// Time conservation holds exactly:
-/// `useful + lost + recovery + checkpoint = total_available`.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct SimResult {
-    /// Seconds of work credited (work intervals whose checkpoint
-    /// committed).
-    pub useful_seconds: f64,
-    /// Seconds spent on work or partial checkpoints that were lost to
-    /// failures.
-    pub lost_seconds: f64,
-    /// Seconds spent in recovery phases (completed or cut off).
-    pub recovery_seconds: f64,
-    /// Seconds spent in checkpoint phases that committed.
-    pub checkpoint_seconds: f64,
-    /// Total machine-available seconds consumed by the simulation.
-    pub total_seconds: f64,
-    /// Megabytes that crossed the network: recoveries + checkpoints,
-    /// including the partial bytes of interrupted transfers.
-    pub megabytes: f64,
-    /// Checkpoints that committed.
-    pub checkpoints_committed: u64,
-    /// Checkpoint attempts (committed + interrupted).
-    pub checkpoints_attempted: u64,
-    /// Recovery attempts.
-    pub recoveries: u64,
-    /// Failures (availability segments that ended while the job held the
-    /// machine).
-    pub failures: u64,
-}
-
-impl SimResult {
-    /// Fraction of available machine time spent doing useful work —
-    /// the y-axis of the paper's Figure 3.
-    pub fn efficiency(&self) -> f64 {
-        if self.total_seconds > 0.0 {
-            self.useful_seconds / self.total_seconds
-        } else {
-            0.0
-        }
-    }
-
-    /// Network megabytes per hour of available machine time —
-    /// the normalization used in Tables 4–5.
-    pub fn megabytes_per_hour(&self) -> f64 {
-        if self.total_seconds > 0.0 {
-            self.megabytes / (self.total_seconds / 3_600.0)
-        } else {
-            0.0
-        }
-    }
-
-    /// Exact time-conservation residual (should be ~0; exposed so tests
-    /// and assertions can check it).
-    pub fn conservation_residual(&self) -> f64 {
-        self.useful_seconds + self.lost_seconds + self.recovery_seconds + self.checkpoint_seconds
-            - self.total_seconds
-    }
-
-    /// Merge another result into this one (summing a job's lifetime over
-    /// several traces, or a pool of machines into an aggregate).
-    pub fn absorb(&mut self, other: &SimResult) {
-        self.useful_seconds += other.useful_seconds;
-        self.lost_seconds += other.lost_seconds;
-        self.recovery_seconds += other.recovery_seconds;
-        self.checkpoint_seconds += other.checkpoint_seconds;
-        self.total_seconds += other.total_seconds;
-        self.megabytes += other.megabytes;
-        self.checkpoints_committed += other.checkpoints_committed;
-        self.checkpoints_attempted += other.checkpoints_attempted;
-        self.recoveries += other.recoveries;
-        self.failures += other.failures;
-    }
-}
+pub use chs_cycle::CycleAccounting as SimResult;
 
 #[cfg(test)]
 mod tests {

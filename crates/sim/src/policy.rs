@@ -6,14 +6,9 @@ use chs_dist::{AvailabilityModel, FittedModel};
 use chs_markov::{CheckpointCosts, VaidyaModel};
 use std::sync::Arc;
 
-/// Decides the next work interval given the machine's current age
-/// (seconds since the start of its current availability segment).
-pub trait SchedulePolicy {
-    /// Work interval to attempt next, seconds.
-    fn next_interval(&self, age: f64) -> f64;
-    /// Display label.
-    fn label(&self) -> String;
-}
+/// The policy interface, shared with every other executor via
+/// [`chs_cycle`].
+pub use chs_cycle::SchedulePolicy;
 
 /// Fixed periodic interval — the classical baseline every
 /// checkpoint-interval paper compares against.
@@ -205,12 +200,10 @@ impl SchedulePolicy for CachedPolicy {
     fn next_interval(&self, age: f64) -> f64 {
         let ages = &self.grid_ages;
         let ts = &self.grid_t;
-        // A NaN age would poison the binary search's comparator; treat it
-        // as age 0 (the youngest, most conservative interval) instead of
-        // panicking mid-sweep.
-        if age.is_nan() {
-            return ts[0];
-        }
+        // A NaN age would poison the binary search's comparator; the
+        // shared guard maps it to age 0 (the youngest, most conservative
+        // interval) instead of panicking mid-sweep.
+        let age = chs_cycle::sanitize_age(age);
         if ts.len() == 1 || age <= ages[0] {
             return ts[0];
         }

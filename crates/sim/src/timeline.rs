@@ -1,28 +1,23 @@
 //! Timeline recording: a per-segment, per-interval account of a
 //! simulated job, for debugging schedules and driving visualizations.
 //!
-//! [`simulate_with_timeline`] runs the same engine as
-//! [`crate::simulate_trace`] but additionally records what happened in
-//! every availability segment; its aggregate totals are asserted (in
-//! tests) to match the plain simulator exactly, so the timeline is a
-//! faithful replay rather than a second implementation that can drift.
+//! [`simulate_with_timeline`] attaches a [`TimelineBuilder`] observer to
+//! the **single** engine pass of [`crate::simulate_trace`]: the timeline
+//! is assembled from the same cycle events that produce the totals, so
+//! it cannot drift from the engine — the old second "replay" simulation
+//! is gone. Because the builder folds in engine event order, the
+//! timeline's aggregates reproduce the engine's accumulators bitwise
+//! (asserted in tests, not just to a tolerance).
 
-use crate::engine::{simulate_trace, SimConfig};
+use crate::engine::{simulate_trace_observed, SimConfig};
 use crate::metrics::SimResult;
 use crate::policy::SchedulePolicy;
 use crate::Result;
+use chs_cycle::{CycleObserver, TransferDirection};
 use serde::{Deserialize, Serialize};
 
-/// How one planned work interval ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum IntervalOutcome {
-    /// Work and checkpoint both finished; work credited.
-    Committed,
-    /// Evicted during the work phase.
-    FailedInWork,
-    /// Evicted during the checkpoint transfer.
-    FailedInCheckpoint,
-}
+/// How one planned work interval ended — shared cycle vocabulary.
+pub use chs_cycle::IntervalOutcome;
 
 /// One planned interval within a segment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,6 +28,10 @@ pub struct IntervalRecord {
     pub planned_work: f64,
     /// How it ended.
     pub outcome: IntervalOutcome,
+    /// Megabytes its checkpoint transfer moved: the full image when
+    /// committed, the partial bytes when cut off, 0 when eviction struck
+    /// before the checkpoint began.
+    pub checkpoint_megabytes: f64,
 }
 
 /// Everything that happened during one availability segment.
@@ -42,6 +41,13 @@ pub struct SegmentRecord {
     pub duration: f64,
     /// Whether the initial recovery completed.
     pub recovered: bool,
+    /// Seconds the recovery transfer ran — the full recovery cost when it
+    /// completed, the partial time when eviction cut it off (previously
+    /// lost on mid-recovery evictions).
+    pub recovery_seconds: f64,
+    /// Megabytes the recovery transfer moved (partial when cut off; 0
+    /// when the configuration excludes recovery bytes).
+    pub recovery_megabytes: f64,
     /// The intervals attempted, in order.
     pub intervals: Vec<IntervalRecord>,
 }
@@ -66,8 +72,29 @@ pub struct Timeline {
 
 impl Timeline {
     /// Total committed work across the run.
+    ///
+    /// Folded flat in chronological order — the same accumulation the
+    /// engine performs — so this equals the engine's `useful_seconds`
+    /// bitwise, not merely within a tolerance.
     pub fn useful_seconds(&self) -> f64 {
-        self.segments.iter().map(SegmentRecord::useful).sum()
+        self.segments
+            .iter()
+            .flat_map(|s| &s.intervals)
+            .filter(|i| i.outcome == IntervalOutcome::Committed)
+            .fold(0.0, |acc, i| acc + i.planned_work)
+    }
+
+    /// Total megabytes across the run (recoveries and checkpoints, full
+    /// and partial), folded in engine event order for bitwise agreement
+    /// with the engine's `megabytes` accumulator.
+    pub fn megabytes(&self) -> f64 {
+        self.segments.iter().fold(0.0, |acc, s| {
+            s.intervals
+                .iter()
+                .fold(acc + s.recovery_megabytes, |acc, i| {
+                    acc + i.checkpoint_megabytes
+                })
+        })
     }
 
     /// Committed checkpoints across the run.
@@ -85,80 +112,113 @@ impl Timeline {
     }
 }
 
-/// Run the simulation and record the timeline. Returns the same
-/// [`SimResult`] as [`simulate_trace`] plus the replay.
+/// A [`CycleObserver`] that assembles a [`Timeline`] from the engine's
+/// event stream.
+#[derive(Debug, Default)]
+pub struct TimelineBuilder {
+    timeline: Timeline,
+}
+
+impl TimelineBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The assembled timeline.
+    pub fn finish(self) -> Timeline {
+        self.timeline
+    }
+
+    fn segment(&mut self) -> &mut SegmentRecord {
+        self.timeline.segments.last_mut().expect("placed segment")
+    }
+}
+
+impl CycleObserver for TimelineBuilder {
+    fn on_placed(&mut self, expected_duration: f64) {
+        self.timeline.segments.push(SegmentRecord {
+            duration: expected_duration,
+            recovered: false,
+            recovery_seconds: 0.0,
+            recovery_megabytes: 0.0,
+            intervals: Vec::new(),
+        });
+    }
+
+    fn on_transfer_completed(
+        &mut self,
+        _at: f64,
+        direction: TransferDirection,
+        elapsed: f64,
+        megabytes: f64,
+    ) {
+        match direction {
+            TransferDirection::Inbound => {
+                let seg = self.segment();
+                seg.recovered = true;
+                seg.recovery_seconds = elapsed;
+                seg.recovery_megabytes = megabytes;
+            }
+            TransferDirection::Outbound => {
+                let interval = self.segment().intervals.last_mut().expect("planned");
+                interval.outcome = IntervalOutcome::Committed;
+                interval.checkpoint_megabytes = megabytes;
+            }
+        }
+    }
+
+    fn on_transfer_interrupted(
+        &mut self,
+        _at: f64,
+        direction: TransferDirection,
+        elapsed: f64,
+        megabytes: f64,
+    ) {
+        match direction {
+            TransferDirection::Inbound => {
+                let seg = self.segment();
+                seg.recovery_seconds = elapsed;
+                seg.recovery_megabytes = megabytes;
+            }
+            TransferDirection::Outbound => {
+                let interval = self.segment().intervals.last_mut().expect("planned");
+                interval.outcome = IntervalOutcome::FailedInCheckpoint;
+                interval.checkpoint_megabytes = megabytes;
+            }
+        }
+    }
+
+    fn on_interval_planned(&mut self, at: f64, planned_work: f64) {
+        self.segment().intervals.push(IntervalRecord {
+            start_age: at,
+            planned_work,
+            // Provisional: promoted by the checkpoint transfer's
+            // completion/interruption events; stays FailedInWork when
+            // eviction strikes before the checkpoint starts.
+            outcome: IntervalOutcome::FailedInWork,
+            checkpoint_megabytes: 0.0,
+        });
+    }
+}
+
+/// Run the simulation once, with timeline recording attached. Returns
+/// the same [`SimResult`] as [`crate::simulate_trace`] (bit-for-bit —
+/// it is the same engine pass) plus the replay.
 pub fn simulate_with_timeline(
     durations: &[f64],
     policy: &dyn SchedulePolicy,
     config: &SimConfig,
 ) -> Result<(SimResult, Timeline)> {
-    // Run the real engine for the authoritative totals…
-    let result = simulate_trace(durations, policy, config)?;
-    // …and replay the identical deterministic logic recording structure.
-    let mut timeline = Timeline::default();
-    for &segment in durations {
-        timeline
-            .segments
-            .push(replay_segment(segment, policy, config));
-    }
-    debug_assert!(
-        (timeline.useful_seconds() - result.useful_seconds).abs()
-            < 1e-6 * result.useful_seconds.max(1.0),
-        "timeline diverged from engine"
-    );
-    Ok((result, timeline))
-}
-
-fn replay_segment(a: f64, policy: &dyn SchedulePolicy, config: &SimConfig) -> SegmentRecord {
-    let c = config.checkpoint_cost;
-    let rec = config.recovery_cost;
-    if a < rec {
-        return SegmentRecord {
-            duration: a,
-            recovered: false,
-            intervals: Vec::new(),
-        };
-    }
-    let mut intervals = Vec::new();
-    let mut age = rec;
-    loop {
-        let t = policy.next_interval(age).max(1e-6);
-        if age + t >= a {
-            intervals.push(IntervalRecord {
-                start_age: age,
-                planned_work: t,
-                outcome: IntervalOutcome::FailedInWork,
-            });
-            break;
-        }
-        if age + t + c > a {
-            intervals.push(IntervalRecord {
-                start_age: age,
-                planned_work: t,
-                outcome: IntervalOutcome::FailedInCheckpoint,
-            });
-            break;
-        }
-        intervals.push(IntervalRecord {
-            start_age: age,
-            planned_work: t,
-            outcome: IntervalOutcome::Committed,
-        });
-        age += t + c;
-        if age >= a {
-            break;
-        }
-    }
-    SegmentRecord {
-        duration: a,
-        recovered: true,
-        intervals,
-    }
+    let mut builder = TimelineBuilder::new();
+    let result = simulate_trace_observed(durations, policy, config, &mut builder)?;
+    Ok((result, builder.finish()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::simulate_trace;
     use crate::policy::FixedIntervalPolicy;
 
     fn run(durations: &[f64], t: f64, c: f64) -> (SimResult, Timeline) {
@@ -167,16 +227,25 @@ mod tests {
     }
 
     #[test]
-    fn timeline_totals_match_engine() {
+    fn timeline_totals_match_engine_bitwise() {
         let durations: Vec<f64> = (1..300)
             .map(|i| (i as f64 * 173.3) % 9_000.0 + 5.0)
             .collect();
         let (result, timeline) = run(&durations, 700.0, 120.0);
-        assert!(
-            (timeline.useful_seconds() - result.useful_seconds).abs() < 1e-6,
+        // Same engine pass + same fold order → exact equality.
+        assert_eq!(
+            timeline.useful_seconds().to_bits(),
+            result.useful_seconds.to_bits(),
             "useful: {} vs {}",
             timeline.useful_seconds(),
             result.useful_seconds
+        );
+        assert_eq!(
+            timeline.megabytes().to_bits(),
+            result.megabytes.to_bits(),
+            "megabytes: {} vs {}",
+            timeline.megabytes(),
+            result.megabytes
         );
         assert_eq!(
             timeline.checkpoints_committed(),
@@ -186,12 +255,28 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_returns_plain_engine_result() {
+        // The timeline variant is the same single engine pass, so its
+        // SimResult equals simulate_trace's exactly.
+        let durations: Vec<f64> = (1..200)
+            .map(|i| (i as f64 * 97.3) % 5_000.0 + 1.0)
+            .collect();
+        let policy = FixedIntervalPolicy { interval: 450.0 };
+        let config = SimConfig::paper(75.0);
+        let plain = simulate_trace(&durations, &policy, &config).unwrap();
+        let (observed, _) = simulate_with_timeline(&durations, &policy, &config).unwrap();
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
     fn hand_checked_segment_structure() {
         // Segment 1000, R = C = 50, T = 200: three committed intervals,
         // then a failure in work (see the engine's hand-computed test).
         let (_, timeline) = run(&[1_000.0], 200.0, 50.0);
         let seg = &timeline.segments[0];
         assert!(seg.recovered);
+        assert_eq!(seg.recovery_seconds, 50.0);
+        assert_eq!(seg.recovery_megabytes, 500.0);
         assert_eq!(seg.intervals.len(), 4);
         let outcomes: Vec<IntervalOutcome> = seg.intervals.iter().map(|i| i.outcome).collect();
         assert_eq!(
@@ -205,26 +290,32 @@ mod tests {
         );
         assert_eq!(seg.intervals[0].start_age, 50.0);
         assert_eq!(seg.intervals[1].start_age, 300.0);
+        assert_eq!(seg.intervals[0].checkpoint_megabytes, 500.0);
+        assert_eq!(seg.intervals[3].checkpoint_megabytes, 0.0);
     }
 
     #[test]
-    fn failed_recovery_has_no_intervals() {
+    fn failed_recovery_keeps_partial_accounting() {
         let (_, timeline) = run(&[20.0], 200.0, 50.0);
-        assert!(!timeline.segments[0].recovered);
-        assert!(timeline.segments[0].intervals.is_empty());
+        let seg = &timeline.segments[0];
+        assert!(!seg.recovered);
+        assert!(seg.intervals.is_empty());
         assert_eq!(timeline.recovery_failures(), 1);
+        // The partial recovery is no longer dropped: 20 of 50 seconds,
+        // 200 of 500 MB.
+        assert_eq!(seg.recovery_seconds, 20.0);
+        assert!((seg.recovery_megabytes - 200.0).abs() < 1e-9);
     }
 
     #[test]
-    fn checkpoint_failure_recorded() {
-        // Segment 280, R = C = 50, T = 200: work ends 250, checkpoint cut.
+    fn checkpoint_failure_recorded_with_partial_bytes() {
+        // Segment 280, R = C = 50, T = 200: work ends 250, checkpoint cut
+        // at 280 with 30/50 of the image moved.
         let (_, timeline) = run(&[280.0], 200.0, 50.0);
-        let outcomes: Vec<IntervalOutcome> = timeline.segments[0]
-            .intervals
-            .iter()
-            .map(|i| i.outcome)
-            .collect();
+        let intervals = &timeline.segments[0].intervals;
+        let outcomes: Vec<IntervalOutcome> = intervals.iter().map(|i| i.outcome).collect();
         assert_eq!(outcomes, vec![IntervalOutcome::FailedInCheckpoint]);
+        assert!((intervals[0].checkpoint_megabytes - 300.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Differential test pinning the chs-cycle port of the engine against a
+//! **frozen copy of the pre-refactor segment loop**. The refactor's
+//! contract is that moving the cycle arithmetic into `chs_cycle` changed
+//! no operation and no operation order, so every accounting field must
+//! match **bitwise** — `to_bits()` equality, not tolerances — across
+//! random traces and both stateless (Fixed) and age-dependent (Cached)
+//! policies.
+
+use chs_markov::CheckpointCosts;
+use chs_sim::{simulate_trace, CachedPolicy, FixedIntervalPolicy, SchedulePolicy, SimConfig};
+use proptest::prelude::*;
+
+/// The engine's accounting exactly as it existed before the extraction.
+#[derive(Debug, Default, PartialEq)]
+struct FrozenResult {
+    useful_seconds: f64,
+    lost_seconds: f64,
+    recovery_seconds: f64,
+    checkpoint_seconds: f64,
+    total_seconds: f64,
+    megabytes: f64,
+    checkpoints_committed: u64,
+    checkpoints_attempted: u64,
+    recoveries: u64,
+    failures: u64,
+}
+
+/// Verbatim copy of the pre-refactor `simulate_segment` loop
+/// (crates/sim/src/engine.rs before chs-cycle), including its inline
+/// `.max(1e-6)` interval clamp. Do not "improve" this function — its
+/// whole value is that it is frozen.
+fn frozen_segment(a: f64, policy: &dyn SchedulePolicy, config: &SimConfig, r: &mut FrozenResult) {
+    let c = config.checkpoint_cost;
+    let rec = config.recovery_cost;
+    let image = config.image_mb;
+    r.total_seconds += a;
+    r.recoveries += 1;
+
+    if a < rec {
+        r.recovery_seconds += a;
+        if config.count_recovery_bytes && rec > 0.0 {
+            r.megabytes += image * (a / rec);
+        }
+        r.failures += 1;
+        return;
+    }
+    r.recovery_seconds += rec;
+    if config.count_recovery_bytes {
+        r.megabytes += image;
+    }
+    let mut age = rec;
+
+    loop {
+        let t = policy.next_interval(age).max(1e-6);
+        if age + t >= a {
+            r.lost_seconds += a - age;
+            r.failures += 1;
+            return;
+        }
+        if age + t + c > a {
+            let ckpt_elapsed = a - (age + t);
+            r.lost_seconds += t + ckpt_elapsed;
+            r.checkpoints_attempted += 1;
+            if c > 0.0 {
+                r.megabytes += image * (ckpt_elapsed / c);
+            }
+            r.failures += 1;
+            return;
+        }
+        r.useful_seconds += t;
+        r.checkpoint_seconds += c;
+        r.megabytes += image;
+        r.checkpoints_attempted += 1;
+        r.checkpoints_committed += 1;
+        age += t + c;
+        if age >= a {
+            r.failures += 1;
+            return;
+        }
+    }
+}
+
+fn frozen_trace(
+    durations: &[f64],
+    policy: &dyn SchedulePolicy,
+    config: &SimConfig,
+) -> FrozenResult {
+    let mut r = FrozenResult::default();
+    for &segment in durations {
+        frozen_segment(segment, policy, config, &mut r);
+    }
+    r
+}
+
+/// Deterministic pseudo-random durations, log-uniform-ish in 1 s..~28 h.
+fn durations(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            (10f64).powf(u * 5.0)
+        })
+        .collect()
+}
+
+#[track_caller]
+fn assert_bitwise(ported: &chs_sim::SimResult, frozen: &FrozenResult) {
+    let pairs = [
+        (
+            "useful_seconds",
+            ported.useful_seconds,
+            frozen.useful_seconds,
+        ),
+        ("lost_seconds", ported.lost_seconds, frozen.lost_seconds),
+        (
+            "recovery_seconds",
+            ported.recovery_seconds,
+            frozen.recovery_seconds,
+        ),
+        (
+            "checkpoint_seconds",
+            ported.checkpoint_seconds,
+            frozen.checkpoint_seconds,
+        ),
+        ("total_seconds", ported.total_seconds, frozen.total_seconds),
+        ("megabytes", ported.megabytes, frozen.megabytes),
+    ];
+    for (name, p, f) in pairs {
+        assert_eq!(
+            p.to_bits(),
+            f.to_bits(),
+            "{name}: ported {p:e} != frozen {f:e}"
+        );
+    }
+    assert_eq!(ported.checkpoints_committed, frozen.checkpoints_committed);
+    assert_eq!(ported.checkpoints_attempted, frozen.checkpoints_attempted);
+    assert_eq!(ported.recoveries, frozen.recoveries);
+    assert_eq!(ported.failures, frozen.failures);
+}
+
+fn weibull_cached(seed: u64, cost: f64, max_age: f64) -> Option<CachedPolicy> {
+    use chs_dist::fit::fit_model;
+    use chs_dist::ModelKind;
+    let train = durations(25, seed ^ 0xD1FF);
+    fit_model(ModelKind::Weibull, &train)
+        .ok()
+        .map(|fit| CachedPolicy::new(fit, CheckpointCosts::symmetric(cost), max_age))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fixed-interval policy: the ported engine is bitwise identical to
+    /// the frozen pre-refactor loop.
+    #[test]
+    fn fixed_policy_bitwise_identical(
+        seed in 0u64..100_000,
+        c in 0.0f64..1_000.0,
+        t in 60.0f64..20_000.0,
+        count_recovery in 0usize..2,
+    ) {
+        let ds = durations(250, seed);
+        let policy = FixedIntervalPolicy { interval: t };
+        let mut config = SimConfig::paper(c);
+        config.count_recovery_bytes = count_recovery == 1;
+        let ported = simulate_trace(&ds, &policy, &config).unwrap();
+        let frozen = frozen_trace(&ds, &policy, &config);
+        assert_bitwise(&ported, &frozen);
+    }
+
+    /// Cached age-dependent policy (the paper's T_opt path): still
+    /// bitwise identical — the port must not have changed when or with
+    /// what age the policy is consulted.
+    #[test]
+    fn cached_policy_bitwise_identical(seed in 0u64..10_000, c in 10.0f64..500.0) {
+        let ds = durations(150, seed);
+        let max_age = ds.iter().cloned().fold(0.0f64, f64::max);
+        if let Some(policy) = weibull_cached(seed, c, max_age) {
+            let config = SimConfig::paper(c);
+            let ported = simulate_trace(&ds, &policy, &config).unwrap();
+            let frozen = frozen_trace(&ds, &policy, &config);
+            assert_bitwise(&ported, &frozen);
+        }
+    }
+}
+
+/// Degenerate-but-valid corners the proptest ranges do not hit. The
+/// clamp case uses millisecond-scale segments so the 1e-6 s floor is
+/// exercised without running billions of cycles.
+#[test]
+fn edge_cases_bitwise_identical() {
+    let ds = durations(300, 7);
+    let tiny: Vec<f64> = ds.iter().map(|d| d * 1e-5).collect();
+    for (durations, t, c, rec) in [
+        (&tiny, 1e-9, 0.0, 0.0),  // clamp engaged every interval
+        (&ds, 5.0, 0.0, 50.0),    // zero checkpoint cost, nonzero recovery
+        (&ds, 1e6, 300.0, 300.0), // interval longer than every segment
+    ] {
+        let policy = FixedIntervalPolicy { interval: t };
+        let mut config = SimConfig::paper(c);
+        config.recovery_cost = rec;
+        let ported = simulate_trace(durations, &policy, &config).unwrap();
+        let frozen = frozen_trace(durations, &policy, &config);
+        assert_bitwise(&ported, &frozen);
+    }
+}

@@ -53,7 +53,7 @@ fn main() {
             "  {} transfers, {} checkpoints committed, {:.0} s useful work, {} heartbeats",
             run.transfers.len(),
             run.checkpoints_committed(),
-            run.useful_seconds,
+            run.useful_seconds(),
             run.heartbeats
         );
         println!("  T_opt sequence: {:?}", round_all(&run.t_opts));

@@ -15,6 +15,8 @@
 //!   generator.
 //! * [`net`] — NWS-style network forecasting for checkpoint transfer
 //!   times.
+//! * [`cycle`] — the shared checkpoint-cycle state machine and its
+//!   accounting ledger; every executor below drives it.
 //! * [`sim`] — the trace-driven discrete-event simulator.
 //! * [`condor`] — a virtual-time Condor emulation (machines, negotiator,
 //!   Vanilla-universe jobs, checkpoint manager).
@@ -46,6 +48,7 @@
 
 pub use chs_condor as condor;
 pub use chs_core as core;
+pub use chs_cycle as cycle;
 pub use chs_dist as dist;
 pub use chs_markov as markov;
 pub use chs_net as net;

@@ -58,7 +58,7 @@ fn live_experiment_conserves_run_time() {
         // Committed work + transfers can never exceed occupancy.
         let transfer_time: f64 = r.transfers.iter().map(|t| t.elapsed).sum();
         assert!(
-            r.useful_seconds + transfer_time <= r.occupied_seconds() + 1e-6,
+            r.useful_seconds() + transfer_time <= r.occupied_seconds() + 1e-6,
             "run on {} overflows its occupancy",
             r.machine
         );
