@@ -1,0 +1,368 @@
+//! Wall-clock benchmark for the conditioned-evaluation kernel layer:
+//! times Γ(T) probes through the kernel-based [`VaidyaModel`] (one
+//! [`ConditionedDist`] per age, monomorphized families, bits-keyed fresh
+//! memo) against a frozen copy of the pre-kernel path (per-probe
+//! [`FutureLifetime`] conditioning through `&dyn AvailabilityModel`, the
+//! old 128-entry exact-f64-key `Vec::find` fresh memo), and verifies the
+//! two paths agree on every probe.
+//!
+//! ```text
+//! cargo run -p chs-bench --release --features bench-counters --bin gamma_bench \
+//!     [--quick] [--json PATH]
+//! ```
+//!
+//! Results are written to `BENCH_gamma.json` (override with `--json`).
+//! The probe grid mirrors the sweep's workload: geometric machine ages ×
+//! log-spaced candidate intervals, per paper family. The run exits
+//! nonzero if any kernel-path Γ deviates from the frozen dyn path by more
+//! than 1e-12 relative (the arithmetic is replicated operation for
+//! operation, so the measured deviation is expected to be exactly 0).
+
+use chs_bench::{CommonArgs, TablePrinter};
+use chs_dist::{
+    AvailabilityModel, Exponential, FittedModel, FutureLifetime, HyperExponential, Weibull,
+};
+use chs_markov::{CheckpointCosts, VaidyaModel};
+use serde::Serialize;
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// Checkpoint/recovery cost (the paper's C = 110 s).
+const CHECKPOINT_COST: f64 = 110.0;
+
+#[cfg(feature = "bench-counters")]
+fn counters_reset() {
+    chs_markov::counters::reset();
+}
+
+#[cfg(not(feature = "bench-counters"))]
+fn counters_reset() {}
+
+/// (Γ evaluations, fresh-memo hits, fresh-memo misses).
+#[cfg(feature = "bench-counters")]
+fn counters_snapshot() -> (u64, u64, u64) {
+    chs_markov::counters::snapshot()
+}
+
+#[cfg(not(feature = "bench-counters"))]
+fn counters_snapshot() -> (u64, u64, u64) {
+    (0, 0, 0)
+}
+
+/// One fresh-quantity memo entry of the pre-kernel path: `(T, (p21, k22))`.
+type OldMemoEntry = (f64, (f64, f64));
+
+/// Frozen pre-kernel evaluation path: `FutureLifetime` conditioning on
+/// every Γ probe and the old linear-scan fresh memo, kept verbatim as the
+/// baseline the kernel layer is measured against.
+struct DynPathModel<'a> {
+    dist: &'a dyn AvailabilityModel,
+    costs: CheckpointCosts,
+    /// `(entries, round-robin cursor)` — the pre-kernel 128-entry memo.
+    memo: RefCell<(Vec<OldMemoEntry>, usize)>,
+}
+
+/// Capacity of the frozen path's fresh memo (the pre-kernel constant).
+const OLD_MEMO_CAPACITY: usize = 128;
+
+impl<'a> DynPathModel<'a> {
+    fn new(dist: &'a dyn AvailabilityModel, costs: CheckpointCosts) -> Self {
+        Self {
+            dist,
+            costs,
+            memo: RefCell::new((Vec::with_capacity(OLD_MEMO_CAPACITY), 0)),
+        }
+    }
+
+    fn fresh_quantities(&self, t: f64, horizon21: f64) -> (f64, f64) {
+        if let Some(&(_, q)) = self.memo.borrow().0.iter().find(|(key, _)| *key == t) {
+            return q;
+        }
+        let fresh = FutureLifetime::new(self.dist, 0.0);
+        let p21 = fresh.survival(horizon21);
+        let k22 = if 1.0 - p21 > 0.0 {
+            fresh.truncated_mean(horizon21)
+        } else {
+            0.0
+        };
+        let mut memo = self.memo.borrow_mut();
+        if memo.0.len() < OLD_MEMO_CAPACITY {
+            memo.0.push((t, (p21, k22)));
+        } else {
+            let cursor = memo.1;
+            memo.0[cursor] = (t, (p21, k22));
+            memo.1 = (cursor + 1) % OLD_MEMO_CAPACITY;
+        }
+        (p21, k22)
+    }
+
+    fn gamma(&self, t: f64, age: f64) -> f64 {
+        let c = self.costs.checkpoint;
+        let (r, l) = (self.costs.recovery, self.costs.latency);
+        let horizon01 = c + t;
+        let horizon21 = l + r + t;
+        let conditioned = FutureLifetime::new(self.dist, age);
+        let p01 = conditioned.survival(horizon01);
+        let p02 = 1.0 - p01;
+        let k02 = if p02 > 0.0 {
+            conditioned.truncated_mean(horizon01)
+        } else {
+            0.0
+        };
+        let (p21, k22) = self.fresh_quantities(t, horizon21);
+        if p02 <= 0.0 {
+            return horizon01;
+        }
+        if p21 <= f64::MIN_POSITIVE {
+            return f64::INFINITY;
+        }
+        let retry = horizon21 + ((1.0 - p21) / p21) * k22;
+        p01 * horizon01 + p02 * (k02 + retry)
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct PathReport {
+    seconds: f64,
+    gamma_evals_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct FamilyReport {
+    family: String,
+    gamma_evaluations: u64,
+    kernel: PathReport,
+    dyn_path: PathReport,
+    /// Dyn-path wall-clock over kernel wall-clock: the per-probe cost of
+    /// re-deriving the age conditioning the kernel hoists out.
+    speedup: f64,
+    /// Max relative Γ deviation between the two paths over the full
+    /// probe grid. Must be ≤ 1e-12 (expected 0.0: the kernel replicates
+    /// the reference arithmetic bitwise); the run aborts otherwise.
+    max_rel_dev: f64,
+    kernel_fresh_memo_hits: u64,
+    kernel_fresh_memo_misses: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct GammaBenchReport {
+    ages: usize,
+    intervals_per_age: usize,
+    repetitions: usize,
+    checkpoint_cost: f64,
+    families: Vec<FamilyReport>,
+    counters_enabled: bool,
+}
+
+/// Geometric grid of `n` machine ages: 0, then 1 s … 1e6 s.
+fn age_grid(n: usize) -> Vec<f64> {
+    let mut ages = vec![0.0];
+    let ratio = 1e6f64.powf(1.0 / (n as f64 - 2.0));
+    let mut a = 1.0;
+    for _ in 0..(n - 1) {
+        ages.push(a);
+        a *= ratio;
+    }
+    ages
+}
+
+/// Log-spaced candidate intervals, 1 s … 1e6 s.
+fn interval_grid(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 1e6f64.powf(i as f64 / (n as f64 - 1.0)))
+        .collect()
+}
+
+/// Best-of-`reps` wall-clock for one full grid of Γ probes. Returns the
+/// Γ checksum (forces evaluation) and the best seconds.
+fn time_grid<F: Fn() -> f64>(reps: usize, f: F) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut sum = 0.0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        sum = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (sum, best)
+}
+
+fn main() {
+    let mut args = CommonArgs::parse();
+    let json_path = args
+        .json
+        .take()
+        .unwrap_or_else(|| "BENCH_gamma.json".into());
+    // --quick maps machines down to 24; reuse that as the size signal.
+    let quick = args.machines <= 24;
+    let (n_ages, n_ts, reps) = if quick { (24, 16, 3) } else { (64, 32, 5) };
+
+    let families: Vec<(&str, FittedModel)> = vec![
+        (
+            "exponential",
+            FittedModel::Exponential(Exponential::from_mean(3_600.0).unwrap()),
+        ),
+        ("weibull", FittedModel::Weibull(Weibull::paper_exemplar())),
+        (
+            "hyperexp2",
+            FittedModel::HyperExponential(
+                HyperExponential::new(&[(0.7, 1.0 / 300.0), (0.3, 1.0 / 30_000.0)]).unwrap(),
+            ),
+        ),
+        (
+            "hyperexp3",
+            FittedModel::HyperExponential(
+                HyperExponential::new(&[
+                    (0.5, 1.0 / 120.0),
+                    (0.3, 1.0 / 2_500.0),
+                    (0.2, 1.0 / 40_000.0),
+                ])
+                .unwrap(),
+            ),
+        ),
+    ];
+
+    let ages = age_grid(n_ages);
+    let ts = interval_grid(n_ts);
+    let costs = CheckpointCosts::symmetric(CHECKPOINT_COST);
+    let evals = (ages.len() * ts.len()) as u64;
+    let mut reports = Vec::new();
+    let mut failed = false;
+
+    for (name, fit) in &families {
+        eprintln!("{name}: {evals} Γ probes per path, best of {reps} ...");
+        let kernel_model = VaidyaModel::new(fit, costs).expect("valid costs");
+        let dyn_model = DynPathModel::new(fit, costs);
+
+        // Identity first (untimed): every probe must agree.
+        let mut max_rel_dev = 0.0f64;
+        for &age in &ages {
+            let view = kernel_model.at_age(age);
+            for &t in &ts {
+                let k = view.gamma(t);
+                let d = dyn_model.gamma(t, age);
+                if k != d {
+                    let rel = (k - d).abs() / k.abs().max(d.abs()).max(1e-300);
+                    max_rel_dev = max_rel_dev.max(rel);
+                }
+            }
+        }
+
+        counters_reset();
+        let (kernel_sum, kernel_secs) = time_grid(reps, || {
+            let mut sum = 0.0;
+            for &age in &ages {
+                let view = kernel_model.at_age(age);
+                for &t in &ts {
+                    sum += view.gamma(t);
+                }
+            }
+            sum
+        });
+        let (_, hits, misses) = counters_snapshot();
+
+        let (dyn_sum, dyn_secs) = time_grid(reps, || {
+            let mut sum = 0.0;
+            for &age in &ages {
+                for &t in &ts {
+                    sum += dyn_model.gamma(t, age);
+                }
+            }
+            sum
+        });
+
+        // The checksums compare the *timed* loops end to end; bitwise
+        // equality here means the timing runs did identical work.
+        if kernel_sum != dyn_sum {
+            let rel = (kernel_sum - dyn_sum).abs() / kernel_sum.abs().max(1e-300);
+            max_rel_dev = max_rel_dev.max(rel);
+        }
+        if max_rel_dev > 1e-12 {
+            eprintln!(
+                "FAIL: {name} kernel path diverged from the frozen dyn path ({max_rel_dev:.3e})"
+            );
+            failed = true;
+        }
+
+        reports.push(FamilyReport {
+            family: name.to_string(),
+            gamma_evaluations: evals,
+            kernel: PathReport {
+                seconds: kernel_secs,
+                gamma_evals_per_sec: evals as f64 / kernel_secs.max(1e-12),
+            },
+            dyn_path: PathReport {
+                seconds: dyn_secs,
+                gamma_evals_per_sec: evals as f64 / dyn_secs.max(1e-12),
+            },
+            speedup: dyn_secs / kernel_secs.max(1e-12),
+            max_rel_dev,
+            kernel_fresh_memo_hits: hits,
+            kernel_fresh_memo_misses: misses,
+        });
+    }
+
+    let report = GammaBenchReport {
+        ages: ages.len(),
+        intervals_per_age: ts.len(),
+        repetitions: reps,
+        checkpoint_cost: CHECKPOINT_COST,
+        families: reports,
+        counters_enabled: cfg!(feature = "bench-counters"),
+    };
+
+    println!(
+        "\nΓ-evaluation benchmark ({} ages × {} intervals, C = {CHECKPOINT_COST} s)",
+        report.ages, report.intervals_per_age
+    );
+    let printer = TablePrinter::new(vec![12, 14, 14, 9, 11]);
+    printer.row(&[
+        "family".into(),
+        "kernel ev/s".into(),
+        "dyn ev/s".into(),
+        "speedup".into(),
+        "max dev".into(),
+    ]);
+    printer.rule();
+    for f in &report.families {
+        printer.row(&[
+            f.family.clone(),
+            format!("{:.3e}", f.kernel.gamma_evals_per_sec),
+            format!("{:.3e}", f.dyn_path.gamma_evals_per_sec),
+            format!("{:.2}x", f.speedup),
+            format!("{:.1e}", f.max_rel_dev),
+        ]);
+    }
+    printer.rule();
+    if report.counters_enabled {
+        for f in &report.families {
+            let total = f.kernel_fresh_memo_hits + f.kernel_fresh_memo_misses;
+            println!(
+                "{}: fresh-memo hit rate {:.1}% ({} / {total})",
+                f.family,
+                100.0 * f.kernel_fresh_memo_hits as f64 / total.max(1) as f64,
+                f.kernel_fresh_memo_hits,
+            );
+        }
+    } else {
+        println!("(rebuild with --features bench-counters for memo hit rates)");
+    }
+
+    if failed {
+        eprintln!("FAIL: kernel path diverged from the frozen dyn path");
+        std::process::exit(1);
+    }
+
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&json_path, json) {
+                eprintln!("could not write {json_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("report written to {json_path}");
+        }
+        Err(e) => {
+            eprintln!("could not serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+}

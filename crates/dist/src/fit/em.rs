@@ -180,6 +180,7 @@ fn em_run(
     let mut resp = vec![0.0f64; k];
     let mut sum_resp = vec![0.0f64; k];
     let mut sum_resp_x = vec![0.0f64; k];
+    let mut reseeded: Vec<usize> = Vec::with_capacity(k);
     let mut prev_ll = f64::NEG_INFINITY;
     for iter in 0..options.max_iterations {
         sum_resp.iter_mut().for_each(|v| *v = 0.0);
@@ -212,6 +213,7 @@ fn em_run(
             }
         }
         // M-step.
+        reseeded.clear();
         for j in 0..k {
             if sum_resp[j] < options.weight_floor * n as f64 || sum_resp_x[j] <= 0.0 {
                 // Phase starved of data: reseed it at a rate off to the
@@ -219,9 +221,24 @@ fn em_run(
                 let fastest = rates.iter().cloned().fold(0.0f64, f64::max);
                 rates[j] = fastest * 3.0;
                 weights[j] = 1.0 / n as f64;
+                reseeded.push(j);
             } else {
                 weights[j] = sum_resp[j] / n as f64;
                 rates[j] = sum_resp[j] / sum_resp_x[j];
+            }
+        }
+        // Nudge reseeded rates apart from every other phase, the same way
+        // the initializer separates ties: a reseed can collide with a rate
+        // another phase's normal update just produced, and duplicate rates
+        // make the next E-step's responsibilities (and the final mixture)
+        // degenerate.
+        for &j in &reseeded {
+            while rates
+                .iter()
+                .enumerate()
+                .any(|(i, &r)| i != j && (rates[j] - r).abs() < 1e-9 * rates[j].abs())
+            {
+                rates[j] *= 1.5;
             }
         }
         // Renormalize weights (reseeding can perturb the sum).
@@ -379,5 +396,34 @@ mod tests {
         let data = [100.0, 300.0, 500.0, 700.0];
         let report = fit_hyperexponential(&data, 1, &EmOptions::default()).unwrap();
         assert!(approx_eq(report.model.rates()[0], 1.0 / 400.0, 1e-9, 0.0));
+    }
+
+    #[test]
+    fn reseeded_rates_stay_pairwise_distinct() {
+        // Crafted collision: all data at x = 1/3 so phase 1's normal
+        // M-step update lands at rate ≈ 3.0, while phase 0 (starved by a
+        // vanishing weight) reseeds to 3 · fastest = 3 · 1.0 = exactly 3.0.
+        // Without the post-reseed nudge the two phases ride the duplicate
+        // rate to convergence.
+        let data = vec![1.0 / 3.0; 200];
+        let weights = vec![1e-300, 1.0 - 1e-300];
+        let rates = vec![0.9, 1.0];
+        // One iteration: degenerate single-valued data would eventually
+        // pull both phases to 1/x through *normal* updates, which is the
+        // repairer's job, not the reseed nudge's. The first M-step is
+        // where the reseed/update collision happens.
+        let options = EmOptions {
+            max_iterations: 1,
+            ..EmOptions::default()
+        };
+        let (_, rates, _, _) = em_run(&data, weights, rates, &options).unwrap();
+        for i in 0..rates.len() {
+            for j in (i + 1)..rates.len() {
+                assert!(
+                    (rates[i] - rates[j]).abs() > 1e-9 * rates[i].abs(),
+                    "duplicate rates survived EM: {rates:?}"
+                );
+            }
+        }
     }
 }

@@ -15,6 +15,9 @@
 //! * [`AvailabilityModel`] — the object-safe trait the Markov model
 //!   consumes, including the conditional (age-`t`) forms.
 //! * [`FutureLifetime`] — a distribution view conditioned on observed age.
+//! * [`ConditionedDist`] / [`DistRef`] — per-family age-conditioned
+//!   evaluation kernels with the conditioning invariants precomputed,
+//!   monomorphized over the families for the optimizer's hot loop.
 //! * [`fit`] — maximum-likelihood fitting (closed-form exponential,
 //!   profile-likelihood Newton for Weibull) and mixture-of-exponentials EM
 //!   for hyperexponentials (the EMPht substitute).
@@ -30,6 +33,7 @@ mod exponential;
 pub mod fit;
 pub mod gof;
 mod hyperexp;
+mod kernel;
 mod lognormal;
 mod model;
 mod weibull;
@@ -37,6 +41,7 @@ mod weibull;
 pub use conditional::FutureLifetime;
 pub use exponential::Exponential;
 pub use hyperexp::HyperExponential;
+pub use kernel::{ConditionedDist, DistRef};
 pub use lognormal::{fit_lognormal, LogNormal};
 pub use model::{AvailabilityModel, FittedModel, ModelKind};
 pub use weibull::Weibull;

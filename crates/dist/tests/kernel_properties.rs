@@ -1,0 +1,159 @@
+//! Property tests for the conditioned-evaluation kernel layer: across
+//! randomly drawn family parameters, conditioning ages, and horizons, the
+//! [`ConditionedDist`] kernels must reproduce the [`FutureLifetime`]
+//! reference path — conditional survival, CDF, survival integral, and
+//! truncated mean — to ≤ 1e-12 relative (they are in fact bitwise equal;
+//! the relative gate is the documented contract).
+
+use chs_dist::{
+    AvailabilityModel, ConditionedDist, Exponential, FutureLifetime, HyperExponential, Weibull,
+};
+use proptest::prelude::*;
+
+/// `a ≡ b` to 1e-12 relative, with an exact short-circuit so zeros and
+/// infinities compare cleanly.
+fn close(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-12 * a.abs().max(b.abs())
+}
+
+/// Compare all four conditioned quantities at one (age, horizon) pair.
+fn assert_kernel_matches(
+    dist: &dyn AvailabilityModel,
+    kernel: &ConditionedDist<'_>,
+    age: f64,
+    x: f64,
+) {
+    let reference = FutureLifetime::new(dist, age);
+    let pairs = [
+        ("survival", kernel.survival(x), reference.survival(x)),
+        ("cdf", kernel.cdf(x), reference.cdf(x)),
+        (
+            "survival_integral",
+            kernel.survival_integral(x),
+            reference.survival_integral(x),
+        ),
+        (
+            "truncated_mean",
+            kernel.truncated_mean(x),
+            reference.truncated_mean(x),
+        ),
+    ];
+    for (name, k, r) in pairs {
+        assert!(
+            close(k, r),
+            "{name} diverged at age={age} x={x}: kernel {k:.17e} vs reference {r:.17e}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn exponential_kernel_matches(
+        mean in 10.0f64..500_000.0,
+        age_log10 in -1.0f64..10.0,
+        x_log10 in -1.0f64..6.5,
+    ) {
+        let d = Exponential::from_mean(mean).unwrap();
+        let age = 10f64.powf(age_log10);
+        let x = 10f64.powf(x_log10);
+        for &a in &[0.0, age] {
+            let kernel = ConditionedDist::new(&d, a);
+            assert_kernel_matches(&d, &kernel, a, x);
+        }
+    }
+
+    #[test]
+    fn weibull_kernel_matches(
+        shape in 0.25f64..3.0,
+        scale in 50.0f64..100_000.0,
+        age_log10 in -1.0f64..10.0,
+        x_log10 in -1.0f64..6.5,
+    ) {
+        // age up to 1e10 deliberately reaches the quadrature-fallback
+        // region of the conditional survival integral (z_age large, the
+        // incomplete-gamma Q-form cancels).
+        let d = Weibull::new(shape, scale).unwrap();
+        let age = 10f64.powf(age_log10);
+        let x = 10f64.powf(x_log10);
+        for &a in &[0.0, age] {
+            let kernel = ConditionedDist::new(&d, a);
+            assert_kernel_matches(&d, &kernel, a, x);
+        }
+    }
+
+    #[test]
+    fn hyperexp_kernel_matches(
+        fast_mean in 10.0f64..2_000.0,
+        slow_factor in 2.0f64..500.0,
+        p_fast in 0.05f64..0.95,
+        age_log10 in -1.0f64..10.0,
+        x_log10 in -1.0f64..6.5,
+    ) {
+        let slow_mean = fast_mean * slow_factor;
+        let d = HyperExponential::new(&[
+            (p_fast, 1.0 / fast_mean),
+            (1.0 - p_fast, 1.0 / slow_mean),
+        ])
+        .unwrap();
+        let age = 10f64.powf(age_log10);
+        let x = 10f64.powf(x_log10);
+        for &a in &[0.0, age] {
+            let kernel = ConditionedDist::new(&d, a);
+            assert_kernel_matches(&d, &kernel, a, x);
+        }
+    }
+
+    #[test]
+    fn hyperexp3_kernel_matches(
+        m1 in 10.0f64..300.0,
+        f2 in 3.0f64..30.0,
+        f3 in 40.0f64..400.0,
+        age_log10 in -1.0f64..9.0,
+        x_log10 in 0.0f64..6.0,
+    ) {
+        // Three phases with well-separated rates: exercises the posterior
+        // reweighting with more than one surviving slow phase.
+        let d = HyperExponential::new(&[
+            (0.5, 1.0 / m1),
+            (0.3, 1.0 / (m1 * f2)),
+            (0.2, 1.0 / (m1 * f3)),
+        ])
+        .unwrap();
+        let age = 10f64.powf(age_log10);
+        let x = 10f64.powf(x_log10);
+        let kernel = ConditionedDist::new(&d, age);
+        assert_kernel_matches(&d, &kernel, age, x);
+    }
+
+    #[test]
+    fn kernel_conditioning_invariants(
+        shape in 0.3f64..2.5,
+        scale in 100.0f64..50_000.0,
+        age_log10 in -1.0f64..8.0,
+        x_log10 in -1.0f64..6.0,
+    ) {
+        // Structural invariants of any conditioned distribution, checked
+        // through the kernel path: S + F = 1 (up to fp), S monotone in x,
+        // ∫S ≤ x, truncated mean within [0, x].
+        let d = Weibull::new(shape, scale).unwrap();
+        let age = 10f64.powf(age_log10);
+        let x = 10f64.powf(x_log10);
+        let kernel = ConditionedDist::new(&d, age);
+        let s = kernel.survival(x);
+        let f = kernel.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!((s + f - 1.0).abs() <= 1e-12);
+        prop_assert!(kernel.survival(2.0 * x) <= s + 1e-15);
+        let integral = kernel.survival_integral(x);
+        prop_assert!((0.0..=x * (1.0 + 1e-12)).contains(&integral));
+        let tm = kernel.truncated_mean(x);
+        prop_assert!((0.0..=x).contains(&tm));
+        // The combined evaluation must agree with the separate calls.
+        let (s2, tm2) = kernel.survival_and_truncated_mean(x);
+        prop_assert!(s2.to_bits() == s.to_bits());
+        prop_assert!(tm2.to_bits() == tm.to_bits());
+    }
+}

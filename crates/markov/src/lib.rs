@@ -38,7 +38,7 @@ mod vaidya;
 
 pub use predict::{predict_steady_state, SteadyStatePrediction};
 pub use schedule::{Schedule, ScheduleEntry};
-pub use vaidya::{CheckpointCosts, IntervalQuantities, OptimalInterval, VaidyaModel};
+pub use vaidya::{CheckpointCosts, GammaAtAge, IntervalQuantities, OptimalInterval, VaidyaModel};
 
 #[cfg(feature = "bench-counters")]
 pub use vaidya::counters;

@@ -1,9 +1,10 @@
 //! The generalized Vaidya checkpoint-interval model and `T_opt` search.
 
 use crate::{MarkovError, Result};
-use chs_dist::{AvailabilityModel, FutureLifetime};
+use chs_dist::{ConditionedDist, DistRef, FittedModel};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Relaxed instrumentation counters, compiled in only with the
 /// `bench-counters` feature so the hot path stays branch-free in normal
@@ -134,30 +135,126 @@ struct FreshQuantities {
     k22: f64,
 }
 
-/// Capacity of the fresh-quantity memo. Sized to hold every distinct `T`
-/// one `T_opt` search (golden section plus parabolic polish) touches, so
-/// the post-search Γ re-evaluation and the bounded search's repeated
-/// boundary probes always hit.
-const FRESH_MEMO_CAPACITY: usize = 128;
+/// Slot count of the fresh-quantity memo — a power of two so open
+/// addressing can mask instead of mod. Sized for the warm-start probe
+/// pattern: a full policy grid fill touches a few hundred distinct `T`
+/// values (≈12 probes × 65 ages, heavily overlapping), which fits under
+/// the load cap without ever wiping.
+const FRESH_MEMO_SLOTS: usize = 512;
+
+/// Wipe threshold (3/4 load): past this, linear probing degrades, so the
+/// table is cleared wholesale. Correctness is unaffected — entries are
+/// exact recomputation caches — and a wipe is rarer and cheaper than
+/// per-insert eviction bookkeeping.
+const FRESH_MEMO_MAX_LOAD: usize = 384;
+
+/// Empty-slot sentinel. `u64::MAX` is a NaN bit pattern, which no probed
+/// interval produces as a key (and even a crafted one would only turn
+/// its own lookups into misses — the memo stays value-transparent).
+const FRESH_MEMO_EMPTY: u64 = u64::MAX;
+
+/// Open-addressed `T.to_bits() → FreshQuantities` table with Fibonacci
+/// hashing and linear probing. Replaces the exact-f64-key linear-scan
+/// `Vec::find` memo: lookups are O(1) instead of O(len), and the warm
+/// sweep's repeated boundary probes stay hits across a whole grid fill.
+struct FreshMemo {
+    slots: Vec<(u64, FreshQuantities)>,
+    len: usize,
+}
+
+impl FreshMemo {
+    fn new() -> Self {
+        Self {
+            slots: vec![
+                (FRESH_MEMO_EMPTY, FreshQuantities { p21: 0.0, k22: 0.0 });
+                FRESH_MEMO_SLOTS
+            ],
+            len: 0,
+        }
+    }
+
+    /// Home slot: multiply by 2⁶⁴/φ and keep the top `log2(slots)` bits,
+    /// which diffuses the near-identical exponent/sign bits of clustered
+    /// `T` values.
+    #[inline]
+    fn home(key: u64) -> usize {
+        const SHIFT: u32 = u64::BITS - FRESH_MEMO_SLOTS.trailing_zeros();
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> SHIFT) as usize
+    }
+
+    fn get(&self, key: u64) -> Option<FreshQuantities> {
+        let mut i = Self::home(key);
+        loop {
+            let (k, v) = self.slots[i];
+            if k == key {
+                return Some(v);
+            }
+            if k == FRESH_MEMO_EMPTY {
+                return None;
+            }
+            i = (i + 1) & (FRESH_MEMO_SLOTS - 1);
+        }
+    }
+
+    fn insert(&mut self, key: u64, value: FreshQuantities) {
+        if self.len >= FRESH_MEMO_MAX_LOAD {
+            for slot in &mut self.slots {
+                slot.0 = FRESH_MEMO_EMPTY;
+            }
+            self.len = 0;
+        }
+        let mut i = Self::home(key);
+        loop {
+            let k = self.slots[i].0;
+            if k == FRESH_MEMO_EMPTY {
+                self.slots[i] = (key, value);
+                self.len += 1;
+                return;
+            }
+            if k == key {
+                self.slots[i] = (key, value);
+                return;
+            }
+            i = (i + 1) & (FRESH_MEMO_SLOTS - 1);
+        }
+    }
+}
+
+/// Where the model's distribution lives: borrowed (the original
+/// allocation-free binding) or shared behind an [`Arc`] (so a policy can
+/// own the model *and* a `'static` optimizer over it — see
+/// [`VaidyaModel::shared`]).
+enum Source<'a> {
+    Borrowed(DistRef<'a>),
+    Shared(Arc<FittedModel>),
+}
 
 /// Vaidya's model bound to one availability distribution and one set of
-/// phase costs. Borrowing the distribution keeps the optimizer
-/// allocation-free; the schedule layer re-creates views as ages advance.
+/// phase costs.
+///
+/// Evaluation runs on [`ConditionedDist`] kernels: `optimal_interval`
+/// and `optimal_interval_near` condition the distribution **once per
+/// age** and probe Γ through that kernel, and the age-0 (fresh) kernel
+/// for the retry quantities is built once per model lifetime. Families
+/// are dispatched by enum, so there is no `dyn` call in the search's
+/// inner loop (the [`DistRef::Dyn`] escape hatch remains for foreign
+/// models).
 ///
 /// `p21`/`k21`/`p22`/`k22` depend only on the distribution and `C+R+L+T`,
-/// never on machine age, so they are memoized per candidate `T`: repeated
-/// Γ evaluations at the same `T` (boundary probes, post-search
-/// re-evaluation, grid fills across ages) pay for one conditional-survival
-/// evaluation instead of two. The memo is interior-mutable and exact
-/// (bit-identical to recomputation), so all `&self` methods keep their
-/// signatures and results.
+/// never on machine age, so they are memoized per candidate `T` in a
+/// bits-keyed open-addressed table: repeated Γ evaluations at the same
+/// `T` (boundary probes, post-search re-evaluation, grid fills across
+/// ages) pay for one conditional-survival evaluation instead of two. The
+/// memo is interior-mutable and exact (bit-identical to recomputation),
+/// so all `&self` methods keep their signatures and results.
 pub struct VaidyaModel<'a> {
-    dist: &'a dyn AvailabilityModel,
+    source: Source<'a>,
     costs: CheckpointCosts,
     t_min: f64,
     t_max: f64,
-    fresh_memo: RefCell<Vec<(f64, FreshQuantities)>>,
-    memo_cursor: std::cell::Cell<usize>,
+    /// Age-0 kernel for the fresh retry quantities, built once.
+    fresh: ConditionedDist<'a>,
+    fresh_memo: RefCell<FreshMemo>,
 }
 
 /// Default lower bound on the searched work interval (seconds): below
@@ -166,21 +263,41 @@ pub struct VaidyaModel<'a> {
 pub const DEFAULT_T_MIN: f64 = 1.0;
 
 impl<'a> VaidyaModel<'a> {
-    /// Bind the model to a distribution and costs. The optimizer searches
+    /// Bind the model to a distribution and costs. Accepts any of the
+    /// three family types, a [`FittedModel`], or a
+    /// `&dyn AvailabilityModel`. The optimizer searches
     /// `T ∈ [1 s, max(1000·E[X], 100·(C+R+L))]` in log space; use
     /// [`VaidyaModel::with_bounds`] to override.
-    pub fn new(dist: &'a dyn AvailabilityModel, costs: CheckpointCosts) -> Result<Self> {
+    pub fn new(dist: impl Into<DistRef<'a>>, costs: CheckpointCosts) -> Result<Self> {
+        Self::from_source(Source::Borrowed(dist.into()), costs)
+    }
+
+    /// Bind to a shared fitted model. The returned model is `'static` —
+    /// the family kernels own their parameters, so the optimizer can be
+    /// stored alongside (or inside) whatever owns the `Arc`.
+    pub fn shared(model: Arc<FittedModel>, costs: CheckpointCosts) -> Result<VaidyaModel<'static>> {
+        VaidyaModel::from_source(Source::Shared(model), costs)
+    }
+
+    fn from_source(source: Source<'a>, costs: CheckpointCosts) -> Result<Self> {
         costs.validate()?;
-        let mean = dist.mean();
+        let mean = match &source {
+            Source::Borrowed(d) => d.mean(),
+            Source::Shared(m) => DistRef::from(m.as_ref()).mean(),
+        };
         let span = costs.checkpoint + costs.recovery + costs.latency;
         let t_max = (1_000.0 * mean).max(100.0 * span).max(1e4);
+        let fresh = match &source {
+            Source::Borrowed(d) => d.condition(0.0),
+            Source::Shared(m) => ConditionedDist::from_fitted(m, 0.0),
+        };
         Ok(Self {
-            dist,
+            source,
             costs,
             t_min: DEFAULT_T_MIN,
             t_max,
-            fresh_memo: RefCell::new(Vec::with_capacity(FRESH_MEMO_CAPACITY)),
-            memo_cursor: std::cell::Cell::new(0),
+            fresh,
+            fresh_memo: RefCell::new(FreshMemo::new()),
         })
     }
 
@@ -209,43 +326,56 @@ impl<'a> VaidyaModel<'a> {
         self.costs
     }
 
+    /// Condition the distribution on `age` — one kernel construction,
+    /// after which Γ probes at that age are conditioning-free.
+    fn kernel_at(&self, age: f64) -> ConditionedDist<'_> {
+        match &self.source {
+            Source::Borrowed(d) => d.condition(age),
+            Source::Shared(m) => ConditionedDist::from_fitted(m, age),
+        }
+    }
+
+    /// A Γ evaluator bound to one conditioning age: the kernel is built
+    /// here and every [`GammaAtAge::gamma`] probe reuses it. This is the
+    /// surface the optimizer uses internally; it is public so callers
+    /// with their own probe loops (benchmarks, plotters) can hoist the
+    /// conditioning the same way.
+    pub fn at_age(&self, age: f64) -> GammaAtAge<'_, 'a> {
+        let age = age.max(0.0);
+        GammaAtAge {
+            model: self,
+            kernel: self.kernel_at(age),
+            age,
+        }
+    }
+
     /// State 2 entries use the unconditional distribution: a failure just
     /// occurred, so the machine age restarts at zero. They depend only on
     /// `t`, so look the pair up in the memo before integrating.
     fn fresh_quantities(&self, t: f64, horizon21: f64) -> FreshQuantities {
-        {
-            let memo = self.fresh_memo.borrow();
-            if let Some(&(_, q)) = memo.iter().find(|&&(key, _)| key == t) {
-                #[cfg(feature = "bench-counters")]
-                counters::FRESH_MEMO_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                return q;
-            }
+        let key = t.to_bits();
+        if let Some(q) = self.fresh_memo.borrow().get(key) {
+            #[cfg(feature = "bench-counters")]
+            counters::FRESH_MEMO_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return q;
         }
         #[cfg(feature = "bench-counters")]
         counters::FRESH_MEMO_MISSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let fresh = FutureLifetime::new(self.dist, 0.0);
-        let p21 = fresh.survival(horizon21);
-        let k22 = if 1.0 - p21 > 0.0 {
-            fresh.truncated_mean(horizon21)
-        } else {
-            0.0
-        };
+        let (p21, k22_raw) = self.fresh.survival_and_truncated_mean(horizon21);
+        let k22 = if 1.0 - p21 > 0.0 { k22_raw } else { 0.0 };
         let q = FreshQuantities { p21, k22 };
-        let mut memo = self.fresh_memo.borrow_mut();
-        if memo.len() < FRESH_MEMO_CAPACITY {
-            memo.push((t, q));
-        } else {
-            // Full: overwrite round-robin, oldest-first.
-            let i = self.memo_cursor.get();
-            memo[i] = (t, q);
-            self.memo_cursor.set((i + 1) % FRESH_MEMO_CAPACITY);
-        }
+        self.fresh_memo.borrow_mut().insert(key, q);
         q
     }
 
     /// Transition probabilities and expected costs for work interval `t`
     /// on a machine of age `age`.
     pub fn quantities(&self, t: f64, age: f64) -> IntervalQuantities {
+        let kern = self.kernel_at(age);
+        self.quantities_with(&kern, t)
+    }
+
+    fn quantities_with(&self, kern: &ConditionedDist<'_>, t: f64) -> IntervalQuantities {
         let CheckpointCosts {
             checkpoint: c,
             recovery: r,
@@ -254,14 +384,9 @@ impl<'a> VaidyaModel<'a> {
         let horizon01 = c + t;
         let horizon21 = l + r + t;
 
-        let conditioned = FutureLifetime::new(self.dist, age);
-        let p01 = conditioned.survival(horizon01);
+        let (p01, k02_cond) = kern.survival_and_truncated_mean(horizon01);
         let p02 = 1.0 - p01;
-        let k02 = if p02 > 0.0 {
-            conditioned.truncated_mean(horizon01)
-        } else {
-            0.0
-        };
+        let k02 = if p02 > 0.0 { k02_cond } else { 0.0 };
 
         let FreshQuantities { p21, k22 } = self.fresh_quantities(t, horizon21);
 
@@ -284,9 +409,14 @@ impl<'a> VaidyaModel<'a> {
     /// recovery + work + latency with positive probability (`P21 = 0`) —
     /// the retry loop never terminates.
     pub fn gamma(&self, t: f64, age: f64) -> f64 {
+        let kern = self.kernel_at(age);
+        self.gamma_with(&kern, t)
+    }
+
+    fn gamma_with(&self, kern: &ConditionedDist<'_>, t: f64) -> f64 {
         #[cfg(feature = "bench-counters")]
         counters::GAMMA_EVALS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let q = self.quantities(t, age);
+        let q = self.quantities_with(kern, t);
         if q.p02 <= 0.0 {
             return q.k01;
         }
@@ -320,17 +450,20 @@ impl<'a> VaidyaModel<'a> {
     /// golden-section search over `ln T` (the objective spans orders of
     /// magnitude in `T`; log-space keeps the search well-conditioned, as
     /// recommended for the Numerical Recipes `golden` routine we mirror).
+    ///
+    /// The distribution is conditioned on `age` exactly once; every Γ
+    /// probe of the search reuses that kernel.
     pub fn optimal_interval(&self, age: f64) -> Result<OptimalInterval> {
-        let age = age.max(0.0);
-        let obj = self.log_objective(age);
+        let view = self.at_age(age);
         let lo = self.t_min.ln();
         let hi = self.t_max.ln();
+        let obj = view.log_objective();
         let min = chs_numerics::optimize::minimize_bounded(&obj, lo, hi, 1e-9)?;
         // Common floor-limited polish (see `spi_refine`): both this full
         // search and the warm-started one end here, which is what makes
         // their answers interchangeable at the ~1e-10 level.
         let polished = chs_numerics::optimize::spi_refine(&obj, min.x, 2e-3, 12);
-        Ok(self.interval_at(polished.x.clamp(lo, hi).exp(), age))
+        Ok(view.interval_at(polished.x.clamp(lo, hi).exp()))
     }
 
     /// [`VaidyaModel::optimal_interval`] warm-started from a nearby known
@@ -350,10 +483,11 @@ impl<'a> VaidyaModel<'a> {
         if !(hint.is_finite() && hint > 0.0) {
             return self.optimal_interval(age);
         }
+        let view = self.at_age(age);
         let lo = self.t_min.ln();
         let hi = self.t_max.ln();
         let u0 = hint.ln().clamp(lo, hi);
-        let obj = self.log_objective(age);
+        let obj = view.log_objective();
         let refined = chs_numerics::optimize::spi_refine(&obj, u0, 0.015, 12);
         let escaped = (refined.x - u0).abs() > LN_SPAN - 0.05;
         let at_edge = (refined.x - lo).abs() < 1e-3 && u0 - lo > 0.1
@@ -361,15 +495,50 @@ impl<'a> VaidyaModel<'a> {
         if escaped || at_edge || !refined.f.is_finite() {
             return self.optimal_interval(age);
         }
-        Ok(self.interval_at(refined.x.clamp(lo, hi).exp(), age))
+        Ok(view.interval_at(refined.x.clamp(lo, hi).exp()))
+    }
+}
+
+/// A Γ evaluator bound to one `(model, age)` pair: the conditioned
+/// kernel is built once at [`VaidyaModel::at_age`] and every probe
+/// reuses it. Created per age by the optimizer; exposed so external
+/// probe loops (benchmarks, objective plotters) get the same hoisting.
+pub struct GammaAtAge<'m, 'a> {
+    model: &'m VaidyaModel<'a>,
+    kernel: ConditionedDist<'m>,
+    age: f64,
+}
+
+impl GammaAtAge<'_, '_> {
+    /// The conditioning age.
+    pub fn age(&self) -> f64 {
+        self.age
+    }
+
+    /// Γ(T) at this age, through the prebuilt kernel.
+    pub fn gamma(&self, t: f64) -> f64 {
+        self.model.gamma_with(&self.kernel, t)
+    }
+
+    /// The transition quantities at this age.
+    pub fn quantities(&self, t: f64) -> IntervalQuantities {
+        self.model.quantities_with(&self.kernel, t)
+    }
+
+    /// Γ(T)/T at this age.
+    pub fn overhead_ratio(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.gamma(t) / t
     }
 
     /// The minimization objective: overhead ratio as a function of
     /// `u = ln T`, with infinities capped so golden section (which cannot
     /// compare infinities) is pushed away from the region.
-    fn log_objective(&self, age: f64) -> impl Fn(f64) -> f64 + '_ {
+    fn log_objective(&self) -> impl Fn(f64) -> f64 + '_ {
         move |u: f64| {
-            let r = self.overhead_ratio(u.exp(), age);
+            let r = self.overhead_ratio(u.exp());
             if r.is_finite() {
                 r
             } else {
@@ -379,8 +548,8 @@ impl<'a> VaidyaModel<'a> {
     }
 
     /// Package the located `T_opt` into an [`OptimalInterval`].
-    fn interval_at(&self, t_opt: f64, age: f64) -> OptimalInterval {
-        let gamma = self.gamma(t_opt, age);
+    fn interval_at(&self, t_opt: f64) -> OptimalInterval {
+        let gamma = self.gamma(t_opt);
         OptimalInterval {
             work_seconds: t_opt,
             gamma,
@@ -407,7 +576,7 @@ impl std::fmt::Debug for VaidyaModel<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chs_dist::{Exponential, HyperExponential, Weibull};
+    use chs_dist::{AvailabilityModel, Exponential, HyperExponential, Weibull};
     use chs_numerics::approx_eq;
 
     fn exp_mean_1h() -> Exponential {
@@ -682,11 +851,68 @@ mod tests {
         // A fresh model with an empty memo agrees too.
         let m2 = VaidyaModel::new(&d, CheckpointCosts::symmetric(250.0)).unwrap();
         assert_eq!(m2.quantities(1_234.5, 77.0), first);
-        // Overflow the memo capacity and re-check an early key.
-        for i in 0..300 {
+        // Overflow past the wipe threshold and re-check an early key.
+        for i in 0..(FRESH_MEMO_MAX_LOAD + 50) {
             let _ = m.quantities(10.0 + i as f64, 77.0);
         }
         assert_eq!(m.quantities(1_234.5, 77.0), first);
+    }
+
+    #[test]
+    fn fresh_memo_colliding_slots_stay_distinct() {
+        // Keys that share a home slot must not shadow each other: probe
+        // many distinct T values twice and require identical answers.
+        let d = exp_mean_1h();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(110.0)).unwrap();
+        let ts: Vec<f64> = (0..300).map(|i| 17.0 + 13.7 * i as f64).collect();
+        let first: Vec<IntervalQuantities> = ts.iter().map(|&t| m.quantities(t, 0.0)).collect();
+        let second: Vec<IntervalQuantities> = ts.iter().map(|&t| m.quantities(t, 0.0)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn shared_model_is_static_and_matches_borrowed() {
+        let fit = Arc::new(FittedModel::Weibull(Weibull::paper_exemplar()));
+        let costs = CheckpointCosts::symmetric(110.0);
+        let shared: VaidyaModel<'static> = VaidyaModel::shared(Arc::clone(&fit), costs).unwrap();
+        let borrowed = VaidyaModel::new(fit.as_ref(), costs).unwrap();
+        for &age in &[0.0, 500.0, 86_400.0] {
+            let a = shared.optimal_interval(age).unwrap();
+            let b = borrowed.optimal_interval(age).unwrap();
+            assert_eq!(a.work_seconds.to_bits(), b.work_seconds.to_bits());
+            assert_eq!(a.gamma.to_bits(), b.gamma.to_bits());
+        }
+    }
+
+    #[test]
+    fn at_age_view_matches_per_call_api() {
+        let d = HyperExponential::new(&[(0.7, 1.0 / 300.0), (0.3, 1.0 / 30_000.0)]).unwrap();
+        let m = VaidyaModel::new(&d, CheckpointCosts::symmetric(110.0)).unwrap();
+        let view = m.at_age(4_321.0);
+        for &t in &[10.0, 333.0, 9_999.0] {
+            assert_eq!(view.gamma(t).to_bits(), m.gamma(t, 4_321.0).to_bits());
+            assert_eq!(view.quantities(t), m.quantities(t, 4_321.0));
+        }
+        assert_eq!(view.age(), 4_321.0);
+    }
+
+    #[test]
+    fn dyn_dispatch_matches_concrete_kernel() {
+        // The DistRef::Dyn escape hatch must agree with the monomorphized
+        // kernels (it conditions through the trait object instead).
+        let d = Weibull::paper_exemplar();
+        let costs = CheckpointCosts::symmetric(110.0);
+        let concrete = VaidyaModel::new(&d, costs).unwrap();
+        let dynamic = VaidyaModel::new(&d as &dyn AvailabilityModel, costs).unwrap();
+        for &age in &[0.0, 1_000.0, 1e8] {
+            for &t in &[10.0, 1_000.0, 100_000.0] {
+                assert_eq!(
+                    concrete.gamma(t, age).to_bits(),
+                    dynamic.gamma(t, age).to_bits(),
+                    "t={t} age={age}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -33,19 +33,23 @@ impl SchedulePolicy for FixedIntervalPolicy {
 ///
 /// The model is held behind an [`Arc`] so pool sweeps can share one fit
 /// across every checkpoint-cost cell instead of cloning the fit per cell.
+/// The `VaidyaModel` is constructed **once**, at policy construction —
+/// per-interval calls reuse it (and its fresh-quantity memo) instead of
+/// paying bound derivation and a cold memo on every schedule decision.
 pub struct ModelPolicy {
     model: Arc<FittedModel>,
-    costs: CheckpointCosts,
+    /// `None` only for pathological costs that `VaidyaModel` rejects; the
+    /// policy then degrades to the conservative one-mean-lifetime default.
+    vaidya: Option<VaidyaModel<'static>>,
 }
 
 impl ModelPolicy {
     /// Bind a fitted model to the phase costs. Accepts either an owned
     /// `FittedModel` or an `Arc<FittedModel>` shared with other policies.
     pub fn new(model: impl Into<Arc<FittedModel>>, costs: CheckpointCosts) -> Self {
-        Self {
-            model: model.into(),
-            costs,
-        }
+        let model = model.into();
+        let vaidya = VaidyaModel::shared(Arc::clone(&model), costs).ok();
+        Self { model, vaidya }
     }
 
     /// The model in use.
@@ -54,8 +58,10 @@ impl ModelPolicy {
     }
 
     fn t_opt(&self, age: f64) -> Result<f64> {
-        let vaidya = VaidyaModel::new(self.model.as_ref(), self.costs)
-            .map_err(|e| SimError::Policy(e.to_string()))?;
+        let vaidya = self
+            .vaidya
+            .as_ref()
+            .ok_or_else(|| SimError::Policy("invalid checkpoint costs".into()))?;
         Ok(vaidya
             .optimal_interval(age)
             .map_err(|e| SimError::Policy(e.to_string()))?
@@ -143,8 +149,11 @@ impl CachedPolicy {
             a *= ratio;
         }
         let mut grid_t = Vec::with_capacity(grid_ages.len());
-        match VaidyaModel::new(model.as_ref(), costs) {
-            Ok(vaidya) => {
+        // Fill through the inner policy's own VaidyaModel: one optimizer,
+        // one fresh-quantity memo, shared between grid fill and any later
+        // direct `inner` use.
+        match &inner.vaidya {
+            Some(vaidya) => {
                 // Ascending ages: each solved point seeds the next. With
                 // two solved neighbors the seed is the log-linear
                 // extrapolation of their optima — `T_opt(age)` drifts
@@ -181,7 +190,7 @@ impl CachedPolicy {
             }
             // Pathological costs/fit: same conservative default the
             // uncached ModelPolicy falls back to.
-            Err(_) => grid_t.resize(grid_ages.len(), model.mean().max(1.0)),
+            None => grid_t.resize(grid_ages.len(), model.mean().max(1.0)),
         }
         Self {
             inner,
