@@ -14,11 +14,10 @@
 //! counts and fresh-quantity memo hit rates for both paths; without it
 //! those fields are zero and `counters_enabled` is false.
 
-use chs_bench::{prepare_pool, CommonArgs, TablePrinter};
+use chs_bench::{prepare_pool_reported, CommonArgs, TablePrinter};
 use chs_sim::sweep::PAPER_C_GRID;
 use chs_sim::{
-    sweep_paper_grid, sweep_paper_grid_reference, sweep_paper_grid_serial, MachineExperiment,
-    SweepGrid,
+    sweep_paper_grid, sweep_paper_grid_reference, sweep_paper_grid_serial, PrepareReport, SweepGrid,
 };
 use serde::Serialize;
 use std::time::Instant;
@@ -61,6 +60,9 @@ struct SweepBenchReport {
     models: usize,
     work_items: usize,
     prepare_seconds: f64,
+    /// Prepare-phase drop accounting: machines lost to short traces vs
+    /// per-estimator fit failures (previously discarded silently).
+    prepare: PrepareReport,
     optimized: PathReport,
     reference: PathReport,
     speedup: f64,
@@ -124,8 +126,9 @@ fn main() {
         .unwrap_or_else(|| "BENCH_sweep.json".into());
 
     let t0 = Instant::now();
-    let experiments: Vec<MachineExperiment> = prepare_pool(&args);
+    let prepared = prepare_pool_reported(&args);
     let prepare_seconds = t0.elapsed().as_secs_f64();
+    let (experiments, prepare_report) = (prepared.experiments, prepared.report);
     let machines = experiments.len();
     let work_items = machines * PAPER_C_GRID.len() * chs_dist::ModelKind::PAPER_SET.len();
 
@@ -158,6 +161,7 @@ fn main() {
         models: chs_dist::ModelKind::PAPER_SET.len(),
         work_items,
         prepare_seconds,
+        prepare: prepare_report,
         optimized: path_report(opt_secs, opt_counters, machines),
         reference: path_report(ref_secs, ref_counters, machines),
         speedup: ref_secs / opt_secs.max(1e-12),

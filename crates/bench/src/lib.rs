@@ -14,7 +14,10 @@
 
 #![deny(missing_docs)]
 
-use chs_sim::{prepare_experiments, sweep_paper_grid, MachineExperiment, SweepGrid};
+use chs_sim::{
+    prepare_experiments_reported, sweep_paper_grid, MachineExperiment, PreparedExperiments,
+    SweepGrid,
+};
 use chs_trace::synthetic::{generate_pool, PoolConfig};
 use chs_trace::PAPER_TRAIN_LEN;
 
@@ -105,14 +108,22 @@ fn usage(flag: &str) -> ! {
 /// Generate the pool and fit all four models per machine — the common
 /// front half of the Figure 3 / Table 1 / Table 3 pipeline.
 pub fn prepare_pool(args: &CommonArgs) -> Vec<MachineExperiment> {
+    prepare_pool_reported(args).experiments
+}
+
+/// Like [`prepare_pool`], but also returns the prepare-phase drop
+/// accounting (short traces vs per-estimator fit failures) for binaries
+/// that surface it in their reports.
+pub fn prepare_pool_reported(args: &CommonArgs) -> PreparedExperiments {
     let pool = generate_pool(&args.pool_config()).as_machine_pool();
-    let experiments = prepare_experiments(&pool, PAPER_TRAIN_LEN);
+    let prepared = prepare_experiments_reported(&pool, PAPER_TRAIN_LEN);
+    let r = &prepared.report;
     eprintln!(
-        "pool: {} machines generated, {} usable after fitting (paper: ~640 of >1000)",
-        pool.len(),
-        experiments.len()
+        "pool: {} machines generated, {} usable after fitting (paper: ~640 of >1000); \
+         dropped {} short-trace, {} fit-failure",
+        r.machines_total, r.machines_usable, r.dropped_short_trace, r.dropped_fit_failure
     );
-    experiments
+    prepared
 }
 
 /// Run the paper's checkpoint-cost grid sweep.

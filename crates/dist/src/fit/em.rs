@@ -16,8 +16,16 @@
 //! (equal rates or vanishing weight) the result degrades gracefully to
 //! fewer effective phases and is repaired by nudging rates apart.
 
+use super::estep::{estep_batched, EstepScratch};
 use super::validate_data;
 use crate::{DistError, HyperExponential, Result};
+
+/// Slack allowed to the raced multi-start, in **per-observation**
+/// log-likelihood units: the raced fit's final log-likelihood must stay
+/// within `RACE_LL_SLACK · n` of the exhaustive multi-start's. This is
+/// the documented contract the racing property test and `fit_bench`'s
+/// exit gate enforce.
+pub const RACE_LL_SLACK: f64 = 1e-3;
 
 /// Tunables for the EM fit.
 #[derive(Debug, Clone)]
@@ -28,6 +36,22 @@ pub struct EmOptions {
     pub tolerance: f64,
     /// Floor for mixture weights; phases below it are reseeded.
     pub weight_floor: f64,
+    /// Burn-in iterations each start runs before the race eliminates
+    /// trailing starts (only consulted when `race` is on).
+    pub burn_in: usize,
+    /// Race the multi-start: run every start `burn_in` iterations, then
+    /// finish only the likelihood leader — plus every start the guard
+    /// keeps (see [`fit_hyperexponential`]). Off, every start runs to
+    /// full convergence (the exhaustive path the differential suite and
+    /// `fit_bench` compare against).
+    pub race: bool,
+    /// Elimination guard, in per-observation log-likelihood units: a
+    /// start within `race_margin · n` of the burn-in leader is finished
+    /// anyway. Raising it trades throughput for a tighter optimality
+    /// guarantee; the default is wide enough that the raced optimum has
+    /// never been observed below the exhaustive one by more than
+    /// [`RACE_LL_SLACK`] per observation.
+    pub race_margin: f64,
 }
 
 impl Default for EmOptions {
@@ -36,6 +60,20 @@ impl Default for EmOptions {
             max_iterations: 2_000,
             tolerance: 1e-10,
             weight_floor: 1e-6,
+            burn_in: 25,
+            race: true,
+            race_margin: 0.05,
+        }
+    }
+}
+
+impl EmOptions {
+    /// The exhaustive multi-start configuration: every start runs to
+    /// full convergence, reproducing the pre-racing pipeline bitwise.
+    pub fn exhaustive() -> Self {
+        Self {
+            race: false,
+            ..Self::default()
         }
     }
 }
@@ -51,10 +89,31 @@ pub struct EmReport {
     pub iterations: usize,
     /// Number of initializations attempted.
     pub starts: usize,
+    /// Starts run to full convergence (equals `starts` on the exhaustive
+    /// path; under racing, the survivors of the burn-in cut).
+    pub finished_starts: usize,
 }
 
 /// Fit a `phases`-phase hyperexponential by EM with deterministic
 /// multi-start (the EMPht substitute).
+///
+/// With `options.race` on (the default), every start runs a short
+/// burn-in of `options.burn_in` iterations and only the likelihood
+/// leader is run to full convergence. Two guards keep the selected
+/// optimum from regressing:
+///
+/// * **closeness** — any start within `race_margin · n` log-likelihood
+///   of the burn-in leader is finished too (near-ties are not decided on
+///   a 25-iteration prefix);
+/// * **strict monotonicity** — plain EM never decreases the likelihood,
+///   so burn-in rankings are trustworthy *unless* a start was perturbed
+///   by a phase reseed (which can drop its likelihood mid-run). A start
+///   whose burn-in trajectory was not strictly monotone is always
+///   finished, falling back to exhaustive behaviour for it.
+///
+/// With `options.race` off, every start runs to full convergence and the
+/// pipeline reproduces the pre-racing fit **bitwise** (pinned by
+/// `tests/em_differential.rs`).
 ///
 /// # Errors
 /// * [`DistError::InvalidData`] — sample shorter than `2·phases` or
@@ -72,30 +131,66 @@ pub fn fit_hyperexponential(data: &[f64], phases: usize, options: &EmOptions) ->
 
     let starts = initial_guesses(&sorted, phases);
     let n_starts = starts.len();
-    let mut best: Option<(Vec<f64>, Vec<f64>, f64, usize)> = None;
-    for (weights, rates) in starts {
-        if let Some((w, r, ll, iters)) = em_run(data, weights, rates, options) {
-            let better = match &best {
-                None => true,
-                Some((_, _, best_ll, _)) => ll > *best_ll,
-            };
-            if better {
-                best = Some((w, r, ll, iters));
+    let mut scratch = EstepScratch::new(phases);
+    let mut states: Vec<EmState> = starts
+        .into_iter()
+        .map(|(weights, rates)| EmState::new(weights, rates))
+        .collect();
+
+    let race = options.race && states.len() > 1 && options.burn_in < options.max_iterations;
+    if race {
+        for state in &mut states {
+            em_advance(data, state, options.burn_in, options, &mut scratch);
+        }
+        let leader_ll = states
+            .iter()
+            .filter(|s| !s.dead)
+            .map(|s| s.ll)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let cut = leader_ll - options.race_margin * data.len() as f64;
+        for state in &mut states {
+            if state.dead {
+                continue;
             }
+            if state.monotone && state.ll < cut {
+                state.eliminated = true;
+                continue;
+            }
+            let budget = options.max_iterations - state.iterations;
+            em_advance(data, state, budget, options, &mut scratch);
+        }
+    } else {
+        for state in &mut states {
+            em_advance(data, state, options.max_iterations, options, &mut scratch);
         }
     }
-    let (weights, rates, ll, iterations) = best.ok_or(DistError::NoConvergence {
+
+    let finished_starts = states.iter().filter(|s| !s.dead && !s.eliminated).count();
+    let best = states
+        .into_iter()
+        .filter(|s| !s.dead && !s.eliminated)
+        .max_by(|a, b| {
+            // Strict `>` against the running best, like the frozen pick:
+            // ties keep the earlier (first-geometry) start.
+            if b.ll > a.ll {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+    let state = best.ok_or(DistError::NoConvergence {
         routine: "fit_hyperexponential",
         iterations: options.max_iterations,
     })?;
 
-    let phases_vec: Vec<(f64, f64)> = weights.into_iter().zip(rates).collect();
+    let phases_vec: Vec<(f64, f64)> = state.weights.into_iter().zip(state.rates).collect();
     let model = build_repaired(&phases_vec)?;
     Ok(EmReport {
         model,
-        log_likelihood: ll,
-        iterations,
+        log_likelihood: state.ll,
+        iterations: state.iterations,
         starts: n_starts,
+        finished_starts,
     })
 }
 
@@ -105,8 +200,7 @@ pub fn fit_hyperexponential(data: &[f64], phases: usize, options: &EmOptions) ->
 fn initial_guesses(sorted: &[f64], k: usize) -> Vec<(Vec<f64>, Vec<f64>)> {
     let n = sorted.len();
     if k == 1 {
-        let mean = sorted.iter().sum::<f64>() / n as f64;
-        return vec![(vec![1.0], vec![1.0 / mean])];
+        return vec![(vec![1.0], vec![1.0 / sorted_mean(sorted)])];
     }
     // Split geometries: fractions of the sorted data per phase.
     let geometries: Vec<Vec<f64>> = vec![
@@ -152,12 +246,21 @@ fn initial_guesses(sorted: &[f64], k: usize) -> Vec<(Vec<f64>, Vec<f64>)> {
     }
     if out.is_empty() {
         // Fallback: single global mean split by powers of 4.
-        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let mean = sorted_mean(sorted);
         let weights = vec![1.0 / k as f64; k];
         let rates = (0..k).map(|j| 4f64.powi(j as i32) / mean).collect();
         out.push((weights, rates));
     }
     out
+}
+
+/// Mean of the sorted sample — the one global scan shared by the k == 1
+/// path and the degenerate-geometry fallback (previously duplicated at
+/// both sites). Summation order over the *sorted* data is part of the
+/// frozen pipeline's bitwise contract, so this must not be replaced by a
+/// scan of the unsorted input.
+fn sorted_mean(sorted: &[f64]) -> f64 {
+    sorted.iter().sum::<f64>() / sorted.len() as f64
 }
 
 /// Fractions `∝ r^j`, normalized.
@@ -167,64 +270,96 @@ fn geometric_fractions(k: usize, r: f64) -> Vec<f64> {
     raw.into_iter().map(|x| x / total).collect()
 }
 
-/// One EM run; returns `(weights, rates, loglik, iterations)` or `None`
-/// when the run degenerates beyond repair.
-fn em_run(
+/// A resumable EM run: one multi-start candidate's parameters plus the
+/// bookkeeping needed to pause it after a racing burn-in and resume it
+/// later on exactly the trajectory an uninterrupted run would follow.
+#[derive(Debug, Clone)]
+struct EmState {
+    weights: Vec<f64>,
+    rates: Vec<f64>,
+    /// Log-likelihood computed by the most recent E-step (the likelihood
+    /// of the parameters *entering* that iteration, as in the frozen
+    /// loop's report).
+    ll: f64,
+    /// Previous iteration's log-likelihood (the convergence reference).
+    prev_ll: f64,
+    /// Iterations consumed so far.
+    iterations: usize,
+    /// Converged to `options.tolerance`.
+    converged: bool,
+    /// Degenerated beyond repair (the frozen loop's `None`).
+    dead: bool,
+    /// Eliminated by the race after burn-in (never finished).
+    eliminated: bool,
+    /// Whether the log-likelihood has been strictly non-decreasing so
+    /// far. Plain EM guarantees this; a phase reseed can break it, and a
+    /// non-monotone start is exempt from race elimination.
+    monotone: bool,
+}
+
+impl EmState {
+    fn new(weights: Vec<f64>, rates: Vec<f64>) -> Self {
+        Self {
+            weights,
+            rates,
+            ll: f64::NEG_INFINITY,
+            prev_ll: f64::NEG_INFINITY,
+            iterations: 0,
+            converged: false,
+            dead: false,
+            eliminated: false,
+            monotone: true,
+        }
+    }
+}
+
+/// Advance one EM state by up to `budget` iterations (stopping early on
+/// convergence or degeneracy). Calling this twice with budgets `b₁` and
+/// `b₂` is identical to calling it once with `b₁ + b₂`: all loop-carried
+/// state (`prev_ll` included) lives in `state`, so racing's burn-in
+/// pause does not perturb the trajectory.
+fn em_advance(
     data: &[f64],
-    mut weights: Vec<f64>,
-    mut rates: Vec<f64>,
+    state: &mut EmState,
+    budget: usize,
     options: &EmOptions,
-) -> Option<(Vec<f64>, Vec<f64>, f64, usize)> {
+    scratch: &mut EstepScratch,
+) {
+    if state.converged || state.dead {
+        return;
+    }
     let n = data.len();
-    let k = rates.len();
-    let mut resp = vec![0.0f64; k];
+    let k = state.rates.len();
     let mut sum_resp = vec![0.0f64; k];
     let mut sum_resp_x = vec![0.0f64; k];
     let mut reseeded: Vec<usize> = Vec::with_capacity(k);
-    let mut prev_ll = f64::NEG_INFINITY;
-    for iter in 0..options.max_iterations {
-        sum_resp.iter_mut().for_each(|v| *v = 0.0);
-        sum_resp_x.iter_mut().for_each(|v| *v = 0.0);
-        let mut ll = 0.0;
-        for &x in data {
-            // E-step in a numerically shifted domain: densities of widely
-            // separated rates underflow otherwise.
-            let mut max_log = f64::NEG_INFINITY;
-            for j in 0..k {
-                let lw = weights[j].ln() + rates[j].ln() - rates[j] * x;
-                resp[j] = lw;
-                if lw > max_log {
-                    max_log = lw;
-                }
-            }
-            let mut denom = 0.0;
-            for r in resp.iter_mut() {
-                *r = (*r - max_log).exp();
-                denom += *r;
-            }
-            if denom <= 0.0 || !denom.is_finite() {
-                return None;
-            }
-            ll += max_log + denom.ln();
-            for j in 0..k {
-                let g = resp[j] / denom;
-                sum_resp[j] += g;
-                sum_resp_x[j] += g * x;
-            }
-        }
+    for _ in 0..budget {
+        // E-step in a numerically shifted domain (densities of widely
+        // separated rates underflow otherwise), batched: see `estep.rs`.
+        let Some(ll) = estep_batched(
+            data,
+            &state.weights,
+            &state.rates,
+            &mut sum_resp,
+            &mut sum_resp_x,
+            scratch,
+        ) else {
+            state.dead = true;
+            return;
+        };
         // M-step.
         reseeded.clear();
         for j in 0..k {
             if sum_resp[j] < options.weight_floor * n as f64 || sum_resp_x[j] <= 0.0 {
                 // Phase starved of data: reseed it at a rate off to the
                 // side of the current fastest phase.
-                let fastest = rates.iter().cloned().fold(0.0f64, f64::max);
-                rates[j] = fastest * 3.0;
-                weights[j] = 1.0 / n as f64;
+                let fastest = state.rates.iter().cloned().fold(0.0f64, f64::max);
+                state.rates[j] = fastest * 3.0;
+                state.weights[j] = 1.0 / n as f64;
                 reseeded.push(j);
             } else {
-                weights[j] = sum_resp[j] / n as f64;
-                rates[j] = sum_resp[j] / sum_resp_x[j];
+                state.weights[j] = sum_resp[j] / n as f64;
+                state.rates[j] = sum_resp[j] / sum_resp_x[j];
             }
         }
         // Nudge reseeded rates apart from every other phase, the same way
@@ -233,24 +368,57 @@ fn em_run(
         // make the next E-step's responsibilities (and the final mixture)
         // degenerate.
         for &j in &reseeded {
-            while rates
+            while state
+                .rates
                 .iter()
                 .enumerate()
-                .any(|(i, &r)| i != j && (rates[j] - r).abs() < 1e-9 * rates[j].abs())
+                .any(|(i, &r)| i != j && (state.rates[j] - r).abs() < 1e-9 * state.rates[j].abs())
             {
-                rates[j] *= 1.5;
+                state.rates[j] *= 1.5;
             }
         }
         // Renormalize weights (reseeding can perturb the sum).
-        let total: f64 = weights.iter().sum();
-        weights.iter_mut().for_each(|w| *w /= total);
+        let total: f64 = state.weights.iter().sum();
+        state.weights.iter_mut().for_each(|w| *w /= total);
 
-        if (ll - prev_ll).abs() < options.tolerance * n as f64 {
-            return Some((weights, rates, ll, iter + 1));
+        state.iterations += 1;
+        if ll < state.prev_ll {
+            state.monotone = false;
         }
-        prev_ll = ll;
+        if (ll - state.prev_ll).abs() < options.tolerance * n as f64 {
+            state.ll = ll;
+            state.converged = true;
+            return;
+        }
+        state.prev_ll = ll;
+        state.ll = ll;
     }
-    Some((weights, rates, prev_ll, options.max_iterations))
+}
+
+/// One EM run to full convergence; returns
+/// `(weights, rates, loglik, iterations)` or `None` when the run
+/// degenerates beyond repair. Thin wrapper over [`em_advance`] kept for
+/// the unit tests.
+#[cfg(test)]
+fn em_run(
+    data: &[f64],
+    weights: Vec<f64>,
+    rates: Vec<f64>,
+    options: &EmOptions,
+) -> Option<(Vec<f64>, Vec<f64>, f64, usize)> {
+    let mut scratch = EstepScratch::new(rates.len());
+    let mut state = EmState::new(weights, rates);
+    em_advance(
+        data,
+        &mut state,
+        options.max_iterations,
+        options,
+        &mut scratch,
+    );
+    if state.dead {
+        return None;
+    }
+    Some((state.weights, state.rates, state.ll, state.iterations))
 }
 
 /// Build a [`HyperExponential`], merging near-identical phases so the

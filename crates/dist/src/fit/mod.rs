@@ -14,6 +14,7 @@
 
 mod censored;
 mod em;
+mod estep;
 mod exponential;
 mod moments;
 mod weibull;
@@ -22,7 +23,7 @@ pub use censored::{
     censor_at_window, censored_log_likelihood, fit_exponential_censored, fit_weibull_censored,
     CensoredObs,
 };
-pub use em::{fit_hyperexponential, EmOptions, EmReport};
+pub use em::{fit_hyperexponential, EmOptions, EmReport, RACE_LL_SLACK};
 pub use exponential::fit_exponential;
 pub use moments::fit_hyperexp2_moments;
 pub use weibull::fit_weibull;

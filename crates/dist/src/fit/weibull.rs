@@ -14,7 +14,7 @@
 
 use super::validate_data;
 use crate::{DistError, Result, Weibull};
-use chs_numerics::roots::newton_safeguarded;
+use chs_numerics::roots::newton_safeguarded_seeded;
 
 /// Maximum-likelihood Weibull fit (the Matlab `wblfit` equivalent).
 ///
@@ -27,10 +27,14 @@ use chs_numerics::roots::newton_safeguarded;
 pub fn fit_weibull(data: &[f64]) -> Result<Weibull> {
     validate_data(data, super::MIN_SAMPLE)?;
     let n = data.len() as f64;
-    let mean_ln: f64 = data.iter().map(|x| x.ln()).sum::<f64>() / n;
-    let spread = data
+    // One log pass serves everything downstream: Σ ln x for the mean,
+    // the degeneracy spread, and the shifted-domain solver (previously
+    // the sample was re-logged for each).
+    let lns: Vec<f64> = data.iter().map(|x| x.ln()).collect();
+    let mean_ln: f64 = lns.iter().sum::<f64>() / n;
+    let spread = lns
         .iter()
-        .map(|x| (x.ln() - mean_ln).abs())
+        .map(|u| (u - mean_ln).abs())
         .fold(0.0f64, f64::max);
     if spread < 1e-12 {
         return Err(DistError::InvalidData {
@@ -40,7 +44,6 @@ pub fn fit_weibull(data: &[f64]) -> Result<Weibull> {
 
     // Numerically robust evaluation of g and g': work with u = ln x and
     // shift by max(u) so the exponentials never overflow for large α.
-    let lns: Vec<f64> = data.iter().map(|x| x.ln()).collect();
     let max_ln = lns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let g_and_dg = |alpha: f64| -> (f64, f64) {
         let mut s0 = 0.0; // Σ e^{α(u−m)}
@@ -86,7 +89,10 @@ pub fn fit_weibull(data: &[f64]) -> Result<Weibull> {
             }
         }
     }
-    let alpha = newton_safeguarded(g_and_dg, lo, hi, 1e-12)?;
+    // The scan above just evaluated g at both bracket endpoints; seed
+    // the solver with those values instead of letting it redo the two
+    // O(n) evaluations (bitwise-identical iteration thereafter).
+    let alpha = newton_safeguarded_seeded(g_and_dg, lo, hi, glo, ghi, 1e-12)?;
 
     // β̂ = (Σ x^α / n)^{1/α}, computed in the same shifted log domain.
     let s0: f64 = lns.iter().map(|&u| (alpha * (u - max_ln)).exp()).sum();

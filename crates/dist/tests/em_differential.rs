@@ -1,0 +1,354 @@
+//! Differential suite for the batched EM fitting pipeline.
+//!
+//! `frozen` below is a **verbatim copy** of the pre-batching multi-start
+//! EM pipeline (quantile initial guesses → per-observation AoS E-step →
+//! closed-form M-step with reseed repair → best-likelihood pick → phase
+//! merge), kept as the oracle the restructured pipeline is pinned
+//! against, the same way `crates/sim/tests/frozen_engine.rs` pinned the
+//! cycle-engine port and `crates/markov/tests/kernel_differential.rs`
+//! pinned the Γ kernels:
+//!
+//! * with racing **off** the new pipeline (hoisted log-constants,
+//!   chunked SoA E-step, underflow skip, resumable starts) must
+//!   reproduce the frozen pipeline **bitwise** — weights, rates,
+//!   log-likelihood, iteration count, and the error/success outcome;
+//! * with racing **on** (the default) the selected optimum must never
+//!   fall below the exhaustive one by more than the documented
+//!   [`RACE_LL_SLACK`] per observation.
+
+use chs_dist::fit::{fit_hyperexponential, EmOptions, RACE_LL_SLACK};
+use chs_dist::{DistError, HyperExponential};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Frozen pipeline (pre-batching fit_hyperexponential, copied verbatim).
+// ---------------------------------------------------------------------
+
+mod frozen {
+    use super::*;
+
+    pub struct FrozenReport {
+        pub model: HyperExponential,
+        pub log_likelihood: f64,
+        pub iterations: usize,
+        pub starts: usize,
+    }
+
+    pub fn fit_hyperexponential(
+        data: &[f64],
+        phases: usize,
+        options: &EmOptions,
+    ) -> Result<FrozenReport, DistError> {
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+
+        let starts = initial_guesses(&sorted, phases);
+        let n_starts = starts.len();
+        let mut best: Option<(Vec<f64>, Vec<f64>, f64, usize)> = None;
+        for (weights, rates) in starts {
+            if let Some((w, r, ll, iters)) = em_run(data, weights, rates, options) {
+                let better = match &best {
+                    None => true,
+                    Some((_, _, best_ll, _)) => ll > *best_ll,
+                };
+                if better {
+                    best = Some((w, r, ll, iters));
+                }
+            }
+        }
+        let (weights, rates, ll, iterations) = best.ok_or(DistError::NoConvergence {
+            routine: "fit_hyperexponential",
+            iterations: options.max_iterations,
+        })?;
+
+        let phases_vec: Vec<(f64, f64)> = weights.into_iter().zip(rates).collect();
+        let model = build_repaired(&phases_vec)?;
+        Ok(FrozenReport {
+            model,
+            log_likelihood: ll,
+            iterations,
+            starts: n_starts,
+        })
+    }
+
+    fn initial_guesses(sorted: &[f64], k: usize) -> Vec<(Vec<f64>, Vec<f64>)> {
+        let n = sorted.len();
+        if k == 1 {
+            let mean = sorted.iter().sum::<f64>() / n as f64;
+            return vec![(vec![1.0], vec![1.0 / mean])];
+        }
+        let geometries: Vec<Vec<f64>> = vec![
+            vec![1.0 / k as f64; k],
+            geometric_fractions(k, 2.0),
+            geometric_fractions(k, 0.5),
+        ];
+        let mut out = Vec::new();
+        for fracs in geometries {
+            let mut weights = Vec::with_capacity(k);
+            let mut rates = Vec::with_capacity(k);
+            let mut start = 0usize;
+            let mut ok = true;
+            for (j, f) in fracs.iter().enumerate() {
+                let end = if j + 1 == k {
+                    n
+                } else {
+                    (start + (f * n as f64).ceil() as usize).min(n)
+                };
+                if end <= start {
+                    ok = false;
+                    break;
+                }
+                let group = &sorted[start..end];
+                let mean = group.iter().sum::<f64>() / group.len() as f64;
+                if mean <= 0.0 {
+                    ok = false;
+                    break;
+                }
+                weights.push(group.len() as f64 / n as f64);
+                rates.push(1.0 / mean);
+                start = end;
+            }
+            if ok && rates.len() == k && start == n {
+                for i in 1..k {
+                    if (rates[i] - rates[i - 1]).abs() < 1e-9 * rates[i].abs() {
+                        rates[i] *= 1.5;
+                    }
+                }
+                out.push((weights, rates));
+            }
+        }
+        if out.is_empty() {
+            let mean = sorted.iter().sum::<f64>() / n as f64;
+            let weights = vec![1.0 / k as f64; k];
+            let rates = (0..k).map(|j| 4f64.powi(j as i32) / mean).collect();
+            out.push((weights, rates));
+        }
+        out
+    }
+
+    fn geometric_fractions(k: usize, r: f64) -> Vec<f64> {
+        let raw: Vec<f64> = (0..k).map(|j| r.powi(j as i32)).collect();
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|x| x / total).collect()
+    }
+
+    fn em_run(
+        data: &[f64],
+        mut weights: Vec<f64>,
+        mut rates: Vec<f64>,
+        options: &EmOptions,
+    ) -> Option<(Vec<f64>, Vec<f64>, f64, usize)> {
+        let n = data.len();
+        let k = rates.len();
+        let mut resp = vec![0.0f64; k];
+        let mut sum_resp = vec![0.0f64; k];
+        let mut sum_resp_x = vec![0.0f64; k];
+        let mut reseeded: Vec<usize> = Vec::with_capacity(k);
+        let mut prev_ll = f64::NEG_INFINITY;
+        for iter in 0..options.max_iterations {
+            sum_resp.iter_mut().for_each(|v| *v = 0.0);
+            sum_resp_x.iter_mut().for_each(|v| *v = 0.0);
+            let mut ll = 0.0;
+            for &x in data {
+                let mut max_log = f64::NEG_INFINITY;
+                for j in 0..k {
+                    let lw = weights[j].ln() + rates[j].ln() - rates[j] * x;
+                    resp[j] = lw;
+                    if lw > max_log {
+                        max_log = lw;
+                    }
+                }
+                let mut denom = 0.0;
+                for r in resp.iter_mut() {
+                    *r = (*r - max_log).exp();
+                    denom += *r;
+                }
+                if denom <= 0.0 || !denom.is_finite() {
+                    return None;
+                }
+                ll += max_log + denom.ln();
+                for j in 0..k {
+                    let g = resp[j] / denom;
+                    sum_resp[j] += g;
+                    sum_resp_x[j] += g * x;
+                }
+            }
+            reseeded.clear();
+            for j in 0..k {
+                if sum_resp[j] < options.weight_floor * n as f64 || sum_resp_x[j] <= 0.0 {
+                    let fastest = rates.iter().cloned().fold(0.0f64, f64::max);
+                    rates[j] = fastest * 3.0;
+                    weights[j] = 1.0 / n as f64;
+                    reseeded.push(j);
+                } else {
+                    weights[j] = sum_resp[j] / n as f64;
+                    rates[j] = sum_resp[j] / sum_resp_x[j];
+                }
+            }
+            for &j in &reseeded {
+                while rates
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &r)| i != j && (rates[j] - r).abs() < 1e-9 * rates[j].abs())
+                {
+                    rates[j] *= 1.5;
+                }
+            }
+            let total: f64 = weights.iter().sum();
+            weights.iter_mut().for_each(|w| *w /= total);
+
+            if (ll - prev_ll).abs() < options.tolerance * n as f64 {
+                return Some((weights, rates, ll, iter + 1));
+            }
+            prev_ll = ll;
+        }
+        Some((weights, rates, prev_ll, options.max_iterations))
+    }
+
+    fn build_repaired(phases: &[(f64, f64)]) -> Result<HyperExponential, DistError> {
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(phases.len());
+        'outer: for &(p, l) in phases {
+            for slot in merged.iter_mut() {
+                if (slot.1 - l).abs() <= 1e-9 * slot.1.abs() {
+                    slot.0 += p;
+                    continue 'outer;
+                }
+            }
+            merged.push((p, l));
+        }
+        let total: f64 = merged.iter().map(|(p, _)| p).sum();
+        for slot in merged.iter_mut() {
+            slot.0 /= total;
+        }
+        HyperExponential::new(&merged)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+/// Options shared by both paths: the pre-racing defaults with a bounded
+/// iteration budget so adversarial samples stay fast.
+fn options(race: bool) -> EmOptions {
+    EmOptions {
+        max_iterations: 500,
+        race,
+        ..EmOptions::default()
+    }
+}
+
+fn assert_bitwise_identical(data: &[f64], phases: usize) {
+    let opts = options(false);
+    let batched = fit_hyperexponential(data, phases, &opts);
+    let frozen = frozen::fit_hyperexponential(data, phases, &opts);
+    match (batched, frozen) {
+        (Ok(b), Ok(f)) => {
+            assert_eq!(
+                b.log_likelihood.to_bits(),
+                f.log_likelihood.to_bits(),
+                "log-likelihood: batched {:e} frozen {:e}",
+                b.log_likelihood,
+                f.log_likelihood
+            );
+            assert_eq!(b.iterations, f.iterations, "iterations");
+            assert_eq!(b.starts, f.starts, "starts");
+            assert_eq!(b.finished_starts, f.starts, "exhaustive finishes all");
+            assert_eq!(b.model.phases(), f.model.phases(), "merged phase count");
+            for j in 0..b.model.phases() {
+                assert_eq!(
+                    b.model.weights()[j].to_bits(),
+                    f.model.weights()[j].to_bits(),
+                    "weight[{j}]"
+                );
+                assert_eq!(
+                    b.model.rates()[j].to_bits(),
+                    f.model.rates()[j].to_bits(),
+                    "rate[{j}]"
+                );
+            }
+        }
+        (Err(_), Err(_)) => {}
+        (b, f) => panic!(
+            "outcome diverged: batched {:?} frozen {:?}",
+            b.map(|r| r.log_likelihood),
+            f.map(|r| r.log_likelihood)
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exhaustive batched pipeline ≡ frozen pipeline, bitwise, across
+    /// data (log-uniform durations spanning seconds to weeks), phase
+    /// count, and — through the sample length and spread — every start
+    /// geometry the quantile initializer produces.
+    #[test]
+    fn batched_exhaustive_matches_frozen_bitwise(
+        xs_log in prop::collection::vec(-2.0f64..6.0, 8..80),
+        phases in 1usize..4,
+    ) {
+        let data: Vec<f64> = xs_log.iter().map(|&e| 10f64.powf(e)).collect();
+        assert_bitwise_identical(&data, phases);
+    }
+
+    /// Tight clustered samples drive the weight floor and reseed/merge
+    /// repair paths; the pipelines must still agree bitwise.
+    #[test]
+    fn batched_matches_frozen_on_degenerate_clusters(
+        base in 0.0f64..4.0,
+        jitter in prop::collection::vec(0.0f64..1e-3, 10..30),
+        phases in 2usize..4,
+    ) {
+        let data: Vec<f64> = jitter.iter().map(|&j| 10f64.powf(base) * (1.0 + j)).collect();
+        assert_bitwise_identical(&data, phases);
+    }
+
+    /// Racing never selects an optimum more than RACE_LL_SLACK per
+    /// observation below the exhaustive multi-start's.
+    #[test]
+    fn raced_ll_within_slack_of_exhaustive(
+        xs_log in prop::collection::vec(-2.0f64..6.0, 8..80),
+        phases in 2usize..4,
+    ) {
+        let data: Vec<f64> = xs_log.iter().map(|&e| 10f64.powf(e)).collect();
+        let raced = fit_hyperexponential(&data, phases, &options(true));
+        let exhaustive = fit_hyperexponential(&data, phases, &options(false));
+        match (raced, exhaustive) {
+            (Ok(r), Ok(e)) => {
+                let slack = RACE_LL_SLACK * data.len() as f64;
+                prop_assert!(
+                    r.log_likelihood >= e.log_likelihood - slack,
+                    "raced ll {} fell more than {slack:e} below exhaustive ll {}",
+                    r.log_likelihood,
+                    e.log_likelihood
+                );
+                prop_assert!(r.finished_starts <= e.finished_starts);
+            }
+            (Err(_), Err(_)) => {}
+            (r, e) => {
+                return Err(TestCaseError::Fail(format!(
+                    "outcome diverged: raced {:?} exhaustive {:?}",
+                    r.map(|x| x.log_likelihood),
+                    e.map(|x| x.log_likelihood)
+                )));
+            }
+        }
+    }
+}
+
+/// The paper-regime spot check: 25-observation training prefixes drawn
+/// from the exemplar machine, both phase counts, bitwise identity.
+#[test]
+fn paper_regime_training_prefixes_match_bitwise() {
+    use chs_dist::AvailabilityModel;
+    use rand::SeedableRng;
+    let truth = chs_dist::Weibull::paper_exemplar();
+    for seed in [7u64, 21, 1999, 2005] {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..25).map(|_| truth.sample(&mut rng)).collect();
+        assert_bitwise_identical(&data, 2);
+        assert_bitwise_identical(&data, 3);
+    }
+}

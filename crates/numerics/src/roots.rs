@@ -57,8 +57,26 @@ pub fn newton_safeguarded<F: Fn(f64) -> (f64, f64)>(
     hi: f64,
     tol: f64,
 ) -> Result<f64> {
-    let (flo, _) = fdf(lo);
-    let (fhi, _) = fdf(hi);
+    let flo = fdf(lo).0;
+    let fhi = fdf(hi).0;
+    newton_safeguarded_seeded(fdf, lo, hi, flo, fhi, tol)
+}
+
+/// [`newton_safeguarded`] with the endpoint function values supplied by
+/// the caller. Bracket scans necessarily evaluate `f` at both endpoints
+/// already; passing those values here saves the two re-evaluations the
+/// plain entry point performs — for an MLE objective each is a full
+/// `O(n)` pass over the sample. The iteration is otherwise identical, so
+/// seeding with `fdf(lo).0` / `fdf(hi).0` reproduces
+/// [`newton_safeguarded`] bitwise.
+pub fn newton_safeguarded_seeded<F: Fn(f64) -> (f64, f64)>(
+    fdf: F,
+    lo: f64,
+    hi: f64,
+    flo: f64,
+    fhi: f64,
+    tol: f64,
+) -> Result<f64> {
     if flo == 0.0 {
         return Ok(lo);
     }
@@ -275,6 +293,32 @@ mod tests {
     #[test]
     fn newton_invalid_bracket() {
         assert!(newton_safeguarded(|x| (x * x + 1.0, 2.0 * x), -1.0, 1.0, 1e-10).is_err());
+    }
+
+    #[test]
+    fn newton_seeded_matches_unseeded_bitwise() {
+        let fdf = |x: f64| (x.ln() + x - 3.0, 1.0 / x + 1.0);
+        let plain = newton_safeguarded(fdf, 0.5, 5.0, 1e-12).unwrap();
+        let seeded =
+            newton_safeguarded_seeded(fdf, 0.5, 5.0, fdf(0.5).0, fdf(5.0).0, 1e-12).unwrap();
+        assert_eq!(plain.to_bits(), seeded.to_bits());
+    }
+
+    #[test]
+    fn newton_seeded_endpoint_roots_and_bad_bracket() {
+        let fdf = |x: f64| (x - 2.0, 1.0);
+        assert_eq!(
+            newton_safeguarded_seeded(fdf, 2.0, 5.0, 0.0, 3.0, 1e-12).unwrap(),
+            2.0
+        );
+        assert_eq!(
+            newton_safeguarded_seeded(fdf, -1.0, 2.0, -3.0, 0.0, 1e-12).unwrap(),
+            2.0
+        );
+        assert!(
+            newton_safeguarded_seeded(|x| (x * x + 1.0, 2.0 * x), -1.0, 1.0, 2.0, 2.0, 1e-10)
+                .is_err()
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::policy::CachedPolicy;
 use chs_dist::fit::fit_model;
 use chs_dist::{FittedModel, ModelKind};
 use chs_markov::CheckpointCosts;
+use chs_stats::mean;
 use chs_trace::{MachineId, MachinePool};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -48,30 +49,126 @@ impl MachineExperiment {
     }
 }
 
-/// Fit the paper's four models to every machine's training prefix.
+/// Per-family fit-failure tally inside a [`PrepareReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitFailureCount {
+    /// Which estimator failed.
+    pub kind: ModelKind,
+    /// On how many machines it failed.
+    pub failures: usize,
+}
+
+/// Accounting for the prepare phase: how many machines entered, how many
+/// survived, and why the rest were dropped — previously a silent
+/// `.ok()?` discard of the whole machine.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PrepareReport {
+    /// Machines in the input pool.
+    pub machines_total: usize,
+    /// Machines with all four fits (length of the experiment list).
+    pub machines_usable: usize,
+    /// Machines dropped because the trace was too short to split into
+    /// the training prefix plus a non-empty experimental remainder.
+    pub dropped_short_trace: usize,
+    /// Machines dropped because at least one estimator failed.
+    pub dropped_fit_failure: usize,
+    /// Which estimator failed, per family in [`ModelKind::PAPER_SET`]
+    /// order (a machine defeating several estimators counts once in
+    /// each).
+    pub fit_failures: Vec<FitFailureCount>,
+}
+
+/// [`prepare_experiments`] plus its [`PrepareReport`].
+#[derive(Debug, Clone)]
+pub struct PreparedExperiments {
+    /// The machines that survived, with all four fits.
+    pub experiments: Vec<MachineExperiment>,
+    /// Drop accounting.
+    pub report: PrepareReport,
+}
+
+/// Fit the paper's four models to every machine's training prefix,
+/// reporting machines dropped per reason.
 ///
 /// Machines that cannot be split (too few observations) or whose data
 /// defeats one of the estimators are dropped, mirroring the paper's
 /// "chosen a sufficient number of times" filter.
-pub fn prepare_experiments(pool: &MachinePool, train_len: usize) -> Vec<MachineExperiment> {
-    pool.traces()
-        .par_iter()
-        .filter_map(|trace| {
-            let (train, test) = trace.split(train_len).ok()?;
-            if test.is_empty() {
-                return None;
-            }
-            let mut fits = Vec::with_capacity(ModelKind::PAPER_SET.len());
-            for kind in ModelKind::PAPER_SET {
-                fits.push(Arc::new(fit_model(kind, &train).ok()?));
-            }
-            Some(MachineExperiment {
-                machine: trace.machine,
-                fits,
+///
+/// The fits run as one flat rayon fan-out over `(machine × model)` work
+/// items — four items per machine instead of one, so the pool's cores
+/// stay busy even when a few machines' EM fits dominate — with an
+/// index-aligned reduction (item `ei·4 + mi` is machine `ei`, family
+/// `mi`). Every fit depends only on its own training prefix and results
+/// are reduced in input order, so the output is bitwise-identical for
+/// any thread count (pinned by `tests/prepare_determinism.rs`).
+pub fn prepare_experiments_reported(pool: &MachinePool, train_len: usize) -> PreparedExperiments {
+    let kinds = ModelKind::PAPER_SET;
+    let n_k = kinds.len();
+
+    // Serial split pass (cheap): keep machines long enough to train on.
+    let mut splits: Vec<(MachineId, Vec<f64>, Vec<f64>)> = Vec::new();
+    let mut dropped_short_trace = 0usize;
+    for trace in pool.traces() {
+        match trace.split(train_len) {
+            Ok((train, test)) if !test.is_empty() => splits.push((trace.machine, train, test)),
+            _ => dropped_short_trace += 1,
+        }
+    }
+
+    // Flat fan-out: one work item per (machine, family).
+    let fits: Vec<chs_dist::Result<FittedModel>> = (0..splits.len() * n_k)
+        .into_par_iter()
+        .map(|idx| fit_model(kinds[idx % n_k], &splits[idx / n_k].1))
+        .collect();
+
+    // Index-aligned reduction in machine order.
+    let mut experiments = Vec::with_capacity(splits.len());
+    let mut fit_failures: Vec<FitFailureCount> = kinds
+        .iter()
+        .map(|&kind| FitFailureCount { kind, failures: 0 })
+        .collect();
+    let mut dropped_fit_failure = 0usize;
+    let mut fit_iter = fits.into_iter();
+    for (machine, _train, test) in splits {
+        let family: Vec<chs_dist::Result<FittedModel>> = (0..n_k)
+            .map(|_| fit_iter.next().expect("index-aligned"))
+            .collect();
+        if family.iter().all(Result::is_ok) {
+            experiments.push(MachineExperiment {
+                machine,
+                fits: family
+                    .into_iter()
+                    .map(|fit| Arc::new(fit.expect("checked ok")))
+                    .collect(),
                 test_durations: test,
-            })
-        })
-        .collect()
+            });
+        } else {
+            dropped_fit_failure += 1;
+            for (mi, fit) in family.iter().enumerate() {
+                if fit.is_err() {
+                    fit_failures[mi].failures += 1;
+                }
+            }
+        }
+    }
+
+    let report = PrepareReport {
+        machines_total: pool.len(),
+        machines_usable: experiments.len(),
+        dropped_short_trace,
+        dropped_fit_failure,
+        fit_failures,
+    };
+    PreparedExperiments {
+        experiments,
+        report,
+    }
+}
+
+/// [`prepare_experiments_reported`] without the drop accounting — the
+/// original surface, kept for callers that only need the experiments.
+pub fn prepare_experiments(pool: &MachinePool, train_len: usize) -> Vec<MachineExperiment> {
+    prepare_experiments_reported(pool, train_len).experiments
 }
 
 /// The per-(C, model) cell of a sweep: per-machine metrics, index-aligned
@@ -108,14 +205,6 @@ impl SweepGrid {
     /// Mean megabytes for `(c_index, model_index)`.
     pub fn mean_megabytes(&self, c_index: usize, model_index: usize) -> f64 {
         mean(&self.cells[c_index][model_index].megabytes)
-    }
-}
-
-fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
     }
 }
 
@@ -307,6 +396,31 @@ mod tests {
         let pool = generate_pool(&PoolConfig::small(4, 10, 3)).as_machine_pool();
         // train_len 25 > 10 observations: everything dropped.
         assert!(prepare_experiments(&pool, 25).is_empty());
+    }
+
+    #[test]
+    fn prepare_report_accounts_for_every_machine() {
+        let pool = small_pool();
+        let prepared = prepare_experiments_reported(&pool, 25);
+        let r = &prepared.report;
+        assert_eq!(r.machines_total, pool.len());
+        assert_eq!(r.machines_usable, prepared.experiments.len());
+        assert_eq!(
+            r.machines_usable + r.dropped_short_trace + r.dropped_fit_failure,
+            r.machines_total
+        );
+        assert_eq!(r.fit_failures.len(), ModelKind::PAPER_SET.len());
+        for (fc, kind) in r.fit_failures.iter().zip(ModelKind::PAPER_SET) {
+            assert_eq!(fc.kind, kind);
+        }
+
+        // A pool of all-too-short traces lands entirely in the
+        // short-trace bucket.
+        let short = generate_pool(&PoolConfig::small(4, 10, 3)).as_machine_pool();
+        let r = prepare_experiments_reported(&short, 25).report;
+        assert_eq!(r.dropped_short_trace, 4);
+        assert_eq!(r.machines_usable, 0);
+        assert_eq!(r.dropped_fit_failure, 0);
     }
 
     #[test]
