@@ -32,6 +32,7 @@ use chs_cycle::{
 use chs_dist::fit::fit_model;
 use chs_dist::{FittedModel, ModelKind};
 use chs_markov::{CheckpointCosts, VaidyaModel};
+use chs_net::RetryPolicy;
 use chs_trace::synthetic::PoolConfig;
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +56,11 @@ pub struct ContentionConfig {
     pub history_len: usize,
     /// Master seed.
     pub seed: u64,
+    /// Manager-side resilience knobs (retries, backoff, timeouts). Only
+    /// consulted by the fault-aware driver
+    /// ([`crate::resilient::run_contention_with_faults`]); the classic
+    /// [`run_contention`] path ignores it.
+    pub retry: RetryPolicy,
 }
 
 impl ContentionConfig {
@@ -70,7 +76,35 @@ impl ContentionConfig {
             pool: PoolConfig::default(),
             history_len: 25,
             seed: 2_005,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Check every knob: counts nonzero, durations and sizes finite and
+    /// positive, retry policy ranges legal.
+    pub fn validate(&self) -> Result<()> {
+        if self.jobs == 0 {
+            return Err(CondorError::InvalidConfig("need at least one job"));
+        }
+        if !(self.link_mb_per_s.is_finite() && self.link_mb_per_s > 0.0) {
+            return Err(CondorError::InvalidConfig(
+                "link capacity must be positive and finite",
+            ));
+        }
+        if !(self.image_mb.is_finite() && self.image_mb > 0.0) {
+            return Err(CondorError::InvalidConfig(
+                "image size must be positive and finite",
+            ));
+        }
+        if !(self.window.is_finite() && self.window > 0.0) {
+            return Err(CondorError::InvalidConfig(
+                "window must be positive and finite",
+            ));
+        }
+        if self.retry.validate().is_err() {
+            return Err(CondorError::InvalidConfig("invalid retry policy"));
+        }
+        Ok(())
     }
 }
 
@@ -164,14 +198,7 @@ impl Job {
 
 /// Run the contention simulation.
 pub fn run_contention(config: &ContentionConfig) -> Result<ContentionResult> {
-    if config.jobs == 0 {
-        return Err(CondorError::InvalidConfig("need at least one job"));
-    }
-    if !(config.link_mb_per_s > 0.0 && config.image_mb > 0.0 && config.window > 0.0) {
-        return Err(CondorError::InvalidConfig(
-            "link capacity, image size and window must be positive",
-        ));
-    }
+    config.validate()?;
     let nominal_cost = config.image_mb / config.link_mb_per_s;
     let cycle_config = CycleConfig {
         // Step-driven: the machine only needs the image size and the
@@ -344,7 +371,7 @@ pub fn run_contention(config: &ContentionConfig) -> Result<ContentionResult> {
     })
 }
 
-fn plan_interval(fit: &FittedModel, cost: f64, age: f64) -> Result<f64> {
+pub(crate) fn plan_interval(fit: &FittedModel, cost: f64, age: f64) -> Result<f64> {
     let age = sanitize_age(age).max(0.0);
     let vaidya = VaidyaModel::new(fit, CheckpointCosts::symmetric(cost))?;
     Ok(clamp_interval(vaidya.optimal_interval(age)?.work_seconds))
@@ -368,6 +395,32 @@ mod tests {
         c = small(2, ModelKind::Exponential);
         c.link_mb_per_s = 0.0;
         assert!(run_contention(&c).is_err());
+    }
+
+    #[test]
+    fn config_rejects_non_finite_knobs() {
+        for bad in [f64::NAN, f64::INFINITY, -1.0, 0.0] {
+            let mut c = small(2, ModelKind::Exponential);
+            c.window = bad;
+            assert!(c.validate().is_err(), "window {bad} accepted");
+            let mut c = small(2, ModelKind::Exponential);
+            c.image_mb = bad;
+            assert!(c.validate().is_err(), "image {bad} accepted");
+            let mut c = small(2, ModelKind::Exponential);
+            c.link_mb_per_s = bad;
+            assert!(c.validate().is_err(), "link {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn config_rejects_bad_retry_knobs() {
+        let mut c = small(2, ModelKind::Exponential);
+        c.retry.backoff_factor = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = small(2, ModelKind::Exponential);
+        c.retry.timeout_factor = f64::NAN;
+        assert!(c.validate().is_err());
+        assert!(small(2, ModelKind::Exponential).validate().is_ok());
     }
 
     #[test]

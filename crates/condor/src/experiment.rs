@@ -18,7 +18,7 @@ use chs_cycle::{clamp_interval, sanitize_age, CycleConfig, CycleMachine};
 use chs_dist::fit::fit_model;
 use chs_dist::{FittedModel, ModelKind};
 use chs_markov::{CheckpointCosts, VaidyaModel};
-use chs_net::{NetworkPath, TransferModel};
+use chs_net::{NetworkPath, RetryPolicy, TransferModel};
 use chs_trace::synthetic::PoolConfig;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -48,6 +48,11 @@ pub struct ExperimentConfig {
     pub pool: PoolConfig,
     /// Master seed.
     pub seed: u64,
+    /// Manager-side resilience knobs (retries, backoff, timeouts). Only
+    /// consulted by the fault-aware driver
+    /// ([`crate::resilient::run_experiment_with_faults`]); the classic
+    /// [`run_experiment`] path ignores it.
+    pub retry: RetryPolicy,
 }
 
 impl ExperimentConfig {
@@ -72,25 +77,36 @@ impl ExperimentConfig {
             heartbeat_period: 10.0,
             pool: PoolConfig::default(),
             seed: 2_005,
+            retry: RetryPolicy::default(),
         }
     }
 
-    fn validate(&self) -> Result<()> {
+    /// Check every knob: counts nonzero, durations finite and positive,
+    /// image size positive, retry policy ranges legal.
+    pub fn validate(&self) -> Result<()> {
         if self.machines == 0 {
             return Err(CondorError::InvalidConfig("need at least one machine"));
         }
-        let window_ok = self.window > 0.0;
-        if !window_ok {
-            return Err(CondorError::InvalidConfig("window must be positive"));
+        if !(self.window.is_finite() && self.window > 0.0) {
+            return Err(CondorError::InvalidConfig(
+                "window must be positive and finite",
+            ));
         }
         if self.streams == 0 {
             return Err(CondorError::InvalidConfig("need at least one stream"));
         }
-        let heartbeat_ok = self.heartbeat_period > 0.0;
-        if !heartbeat_ok {
+        if !(self.heartbeat_period.is_finite() && self.heartbeat_period > 0.0) {
             return Err(CondorError::InvalidConfig(
-                "heartbeat period must be positive",
+                "heartbeat period must be positive and finite",
             ));
+        }
+        if !(self.image_mb.is_finite() && self.image_mb > 0.0) {
+            return Err(CondorError::InvalidConfig(
+                "image size must be positive and finite",
+            ));
+        }
+        if self.retry.validate().is_err() {
+            return Err(CondorError::InvalidConfig("invalid retry policy"));
         }
         Ok(())
     }
@@ -433,6 +449,47 @@ mod tests {
         let mut c = tiny_config();
         c.streams = 0;
         assert!(run_experiment(&c).is_err());
+    }
+
+    #[test]
+    fn config_rejects_non_finite_window() {
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let mut c = tiny_config();
+            c.window = bad;
+            assert!(c.validate().is_err(), "window {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn config_rejects_non_finite_heartbeat() {
+        for bad in [f64::NAN, f64::INFINITY, -10.0, 0.0] {
+            let mut c = tiny_config();
+            c.heartbeat_period = bad;
+            assert!(c.validate().is_err(), "heartbeat {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn config_rejects_bad_image_size() {
+        for bad in [f64::NAN, f64::INFINITY, -500.0, 0.0] {
+            let mut c = tiny_config();
+            c.image_mb = bad;
+            assert!(c.validate().is_err(), "image {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn config_rejects_bad_retry_knobs() {
+        let mut c = tiny_config();
+        c.retry.timeout_factor = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = tiny_config();
+        c.retry.backoff_base = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = tiny_config();
+        c.retry.backoff_jitter = -0.1;
+        assert!(c.validate().is_err());
+        assert!(tiny_config().validate().is_ok());
     }
 
     #[test]

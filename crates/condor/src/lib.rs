@@ -38,6 +38,7 @@ pub mod machine;
 pub mod manager;
 pub mod monitor;
 pub mod negotiator;
+pub mod resilient;
 
 pub use contention::{run_contention, ContentionConfig, ContentionResult};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, ModelSummary};
@@ -45,6 +46,7 @@ pub use log::{LogDigest, LogEvent, LogRecorder, ProcessLog};
 pub use machine::{EmulatedMachine, MachinePark};
 pub use manager::{RunRecord, TransferKind, TransferRecord};
 pub use monitor::{run_monitor, MonitorConfig};
+pub use resilient::{run_contention_with_faults, run_experiment_with_faults, FaultReport};
 
 /// Errors from the emulation.
 #[derive(Debug)]

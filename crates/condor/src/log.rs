@@ -22,7 +22,7 @@
 //! streamed to disk and replayed later.
 
 use crate::manager::TransferKind;
-use chs_cycle::{CycleObserver, TransferDirection};
+use chs_cycle::{CycleObserver, TransferDirection, TransferFaultKind};
 use chs_trace::MachineId;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
@@ -80,6 +80,40 @@ pub enum LogEvent {
         at: f64,
         /// Work seconds credited.
         seconds: f64,
+    },
+    /// An in-flight transfer attempt faulted (stall timeout, drop,
+    /// checksum mismatch at commit, or manager unavailability).
+    TransferFaulted {
+        /// Virtual time the manager detected the fault.
+        at: f64,
+        /// Recovery or checkpoint.
+        kind: TransferKind,
+        /// What went wrong.
+        fault: TransferFaultKind,
+        /// Seconds the phase had been running (attempts + backoff).
+        elapsed: f64,
+        /// Megabytes that crossed the wire but must be re-sent (0 for
+        /// resumable drops/stalls).
+        wasted_mb: f64,
+    },
+    /// The manager scheduled a retry after a backoff wait.
+    RetryScheduled {
+        /// Virtual time the retry was scheduled.
+        at: f64,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Seconds waited before the retry starts.
+        backoff_seconds: f64,
+    },
+    /// The manager exhausted its retry budget and fell back to the last
+    /// verified checkpoint.
+    CheckpointAbandoned {
+        /// Virtual time of the abandonment.
+        at: f64,
+        /// Work seconds lost with the abandoned interval.
+        lost_work: f64,
+        /// Megabytes that crossed the wire for nothing.
+        wasted_mb: f64,
     },
     /// The owner reclaimed the machine; the trace of heartbeats ends.
     Evicted {
@@ -218,6 +252,39 @@ impl CycleObserver for LogRecorder {
         });
     }
 
+    fn on_transfer_faulted(
+        &mut self,
+        at: f64,
+        direction: TransferDirection,
+        kind: TransferFaultKind,
+        elapsed: f64,
+        wasted_mb: f64,
+    ) {
+        self.events.push(LogEvent::TransferFaulted {
+            at: self.abs(at),
+            kind: kind_of(direction),
+            fault: kind,
+            elapsed,
+            wasted_mb,
+        });
+    }
+
+    fn on_retry_scheduled(&mut self, at: f64, attempt: u32, backoff_seconds: f64) {
+        self.events.push(LogEvent::RetryScheduled {
+            at: self.abs(at),
+            attempt,
+            backoff_seconds,
+        });
+    }
+
+    fn on_checkpoint_abandoned(&mut self, at: f64, lost_work: f64, wasted_mb: f64) {
+        self.events.push(LogEvent::CheckpointAbandoned {
+            at: self.abs(at),
+            lost_work,
+            wasted_mb,
+        });
+    }
+
     // `on_evicted` is ignored too: `finish` pins the exact eviction time.
 }
 
@@ -235,6 +302,10 @@ impl ProcessLog {
                 LogEvent::Evicted { at, .. } => evicted_at = Some(*at),
                 LogEvent::TransferCompleted { megabytes: mb, .. } => megabytes += mb,
                 LogEvent::TransferInterrupted { megabytes: mb, .. } => megabytes += mb,
+                // Wasted payload still crossed the network: fold it in
+                // event order so the digest matches the ledger bitwise.
+                LogEvent::TransferFaulted { wasted_mb, .. } => megabytes += wasted_mb,
+                LogEvent::CheckpointAbandoned { wasted_mb, .. } => megabytes += wasted_mb,
                 LogEvent::WorkCommitted { seconds, .. } => {
                     useful += seconds;
                     committed += 1;
@@ -274,16 +345,25 @@ impl ProcessLog {
         Ok(())
     }
 
-    /// Read from JSON Lines.
+    /// Read from JSON Lines. A malformed or truncated line produces an
+    /// error naming its 1-based line number, so a corrupt record in a
+    /// streamed campaign log can be located (and the file repaired)
+    /// instead of leaving only an anonymous parse failure.
     pub fn read_jsonl<R: BufRead>(r: R) -> std::io::Result<Self> {
         let mut events = Vec::new();
-        for line in r.lines() {
-            let line = line?;
+        for (lineno, line) in r.lines().enumerate() {
+            let line = line.map_err(|err| {
+                std::io::Error::new(err.kind(), format!("line {}: {err}", lineno + 1))
+            })?;
             if line.trim().is_empty() {
                 continue;
             }
-            let e: LogEvent = serde_json::from_str(&line)
-                .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err))?;
+            let e: LogEvent = serde_json::from_str(&line).map_err(|err| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: {err}", lineno + 1),
+                )
+            })?;
             events.push(e);
         }
         Ok(Self { events })
@@ -390,6 +470,76 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_errors_carry_line_numbers() {
+        // One good line, then a truncated record on line 3 (line 2 is
+        // blank): the error must name line 3, not just "invalid data".
+        let corrupt = "{\"Placed\":{\"at\":1.0,\"machine\":3,\"age\":0.0}}\n\n{\"WorkCommitted\":{\"at\":9.0,\n";
+        let err = ProcessLog::read_jsonl(corrupt.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "no line number in error: {msg}");
+    }
+
+    #[test]
+    fn fault_events_round_trip_and_digest() {
+        // A hand-built faulted run: recovery OK, one corrupted checkpoint
+        // (500 MB wasted, retried, committed), one abandoned checkpoint.
+        let log = ProcessLog {
+            events: vec![
+                LogEvent::Placed {
+                    at: 0.0,
+                    machine: chs_trace::MachineId(1),
+                    age: 0.0,
+                },
+                LogEvent::TransferCompleted {
+                    at: 50.0,
+                    seconds: 50.0,
+                    megabytes: 500.0,
+                },
+                LogEvent::TransferFaulted {
+                    at: 350.0,
+                    kind: TransferKind::Checkpoint,
+                    fault: TransferFaultKind::Corruption,
+                    elapsed: 100.0,
+                    wasted_mb: 500.0,
+                },
+                LogEvent::RetryScheduled {
+                    at: 350.0,
+                    attempt: 1,
+                    backoff_seconds: 5.0,
+                },
+                LogEvent::TransferCompleted {
+                    at: 460.0,
+                    seconds: 105.0,
+                    megabytes: 500.0,
+                },
+                LogEvent::WorkCommitted {
+                    at: 460.0,
+                    seconds: 200.0,
+                },
+                LogEvent::CheckpointAbandoned {
+                    at: 900.0,
+                    lost_work: 300.0,
+                    wasted_mb: 120.0,
+                },
+                LogEvent::Evicted {
+                    at: 1_000.0,
+                    heartbeats: 20,
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        log.write_jsonl(&mut buf).unwrap();
+        let back = ProcessLog::read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(log, back);
+        let d = log.digest();
+        // Wasted megabytes count toward network load.
+        assert_eq!(d.megabytes, 500.0 + 500.0 + 500.0 + 120.0);
+        assert_eq!(d.useful_seconds, 200.0);
+        assert_eq!(d.checkpoints_committed, 1);
+    }
+
+    #[test]
     fn empty_log_digest_is_safe() {
         let d = ProcessLog { events: vec![] }.digest();
         assert_eq!(d.useful_seconds, 0.0);
@@ -409,6 +559,9 @@ mod tests {
                     | LogEvent::TransferStarted { at, .. }
                     | LogEvent::TransferCompleted { at, .. }
                     | LogEvent::TransferInterrupted { at, .. }
+                    | LogEvent::TransferFaulted { at, .. }
+                    | LogEvent::RetryScheduled { at, .. }
+                    | LogEvent::CheckpointAbandoned { at, .. }
                     | LogEvent::IntervalPlanned { at, .. }
                     | LogEvent::WorkCommitted { at, .. }
                     | LogEvent::Evicted { at, .. } => *at,

@@ -55,6 +55,21 @@ pub struct CycleAccounting {
     /// Recovery seconds spent in recoveries that were cut off (subset of
     /// `recovery_seconds`).
     pub partial_recovery_seconds: f64,
+    /// Megabytes that crossed the wire but never became part of a
+    /// delivered image: corrupted transfers that had to be fully re-sent
+    /// and the partial bytes of abandoned checkpoints. Included in
+    /// `megabytes`, so `megabytes = full + partial + wasted` exactly.
+    pub wasted_megabytes: f64,
+    /// Transfer attempts that were faulted and retried (dropped, stalled
+    /// past their timeout, or corrupted and re-sent).
+    pub transfer_retries: u64,
+    /// Faults observed on this machine's transfers (injected or real):
+    /// drops, stalls, corruptions, and manager-unavailability waits.
+    pub faults_injected: u64,
+    /// Checkpoint transfers the manager gave up on after exhausting its
+    /// retry budget — the process fell back to its last verified
+    /// checkpoint and the interval's work was re-accounted as lost.
+    pub checkpoints_abandoned: u64,
 }
 
 impl CycleAccounting {
@@ -85,6 +100,14 @@ impl CycleAccounting {
             - self.total_seconds
     }
 
+    /// Exact byte-conservation residual: every megabyte that crossed the
+    /// wire is either part of a completed transfer (`full`), the partial
+    /// prefix of one cut off by eviction (`partial`), or wasted on a
+    /// faulted/abandoned attempt (`wasted`).
+    pub fn byte_conservation_residual(&self) -> f64 {
+        self.full_megabytes + self.partial_megabytes + self.wasted_megabytes - self.megabytes
+    }
+
     /// Merge another ledger into this one (summing a job's lifetime over
     /// several traces, or a pool of machines into an aggregate).
     pub fn absorb(&mut self, other: &CycleAccounting) {
@@ -103,6 +126,10 @@ impl CycleAccounting {
         self.partial_megabytes += other.partial_megabytes;
         self.lost_work_seconds += other.lost_work_seconds;
         self.partial_recovery_seconds += other.partial_recovery_seconds;
+        self.wasted_megabytes += other.wasted_megabytes;
+        self.transfer_retries += other.transfer_retries;
+        self.faults_injected += other.faults_injected;
+        self.checkpoints_abandoned += other.checkpoints_abandoned;
     }
 
     /// Transfers started (recoveries + checkpoint attempts) — the
@@ -202,6 +229,34 @@ impl CycleAccounting {
     pub(crate) fn segment_exhausted(&mut self) {
         self.failures += 1;
     }
+
+    /// An in-flight transfer attempt faulted and will be retried.
+    /// `wasted_mb` is the accrued payload that must be re-sent (the whole
+    /// delivered prefix for a corruption, 0 for a resumable drop/stall):
+    /// it crossed the wire, so it counts toward `megabytes`, but never
+    /// becomes part of a delivered image.
+    pub(crate) fn transfer_faulted(&mut self, wasted_mb: f64, retried: bool) {
+        self.megabytes += wasted_mb;
+        self.wasted_megabytes += wasted_mb;
+        self.faults_injected += 1;
+        if retried {
+            self.transfer_retries += 1;
+        }
+    }
+
+    /// The manager gave up on a checkpoint after `elapsed` seconds in the
+    /// transfer phase (attempts + backoff): the preceding `planned_work`
+    /// is lost, the `megabytes` that crossed are wasted, and the process
+    /// falls back to its last verified checkpoint. The machine stays
+    /// placed, so no failure is recorded.
+    pub(crate) fn checkpoint_abandoned(&mut self, planned_work: f64, elapsed: f64, megabytes: f64) {
+        self.lost_seconds += planned_work + elapsed;
+        self.checkpoints_attempted += 1;
+        self.megabytes += megabytes;
+        self.lost_work_seconds += planned_work;
+        self.wasted_megabytes += megabytes;
+        self.checkpoints_abandoned += 1;
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +325,52 @@ mod tests {
         assert_eq!(r.transfers_started(), 2);
         assert_eq!(r.full_megabytes, 1_000.0);
         assert_eq!(r.partial_megabytes, 0.0);
+    }
+
+    #[test]
+    fn faulted_and_abandoned_transfers_conserve_bytes() {
+        let mut r = CycleAccounting::default();
+        r.recovery_started();
+        // A dropped attempt wastes nothing (the prefix is resumed) ...
+        r.transfer_faulted(0.0, true);
+        // ... a corrupted one wastes the whole delivered image.
+        r.transfer_faulted(500.0, true);
+        r.recovery_completed(80.0, 500.0);
+        // A checkpoint the manager gave up on after 350 MB crossed.
+        r.checkpoint_abandoned(200.0, 40.0, 350.0);
+        assert_eq!(r.faults_injected, 2);
+        assert_eq!(r.transfer_retries, 2);
+        assert_eq!(r.checkpoints_abandoned, 1);
+        assert_eq!(r.checkpoints_attempted, 1);
+        assert_eq!(r.wasted_megabytes, 850.0);
+        assert_eq!(r.megabytes, 1_350.0);
+        assert_eq!(r.byte_conservation_residual(), 0.0);
+        assert_eq!(r.lost_seconds, 240.0);
+        assert_eq!(r.lost_work_seconds, 200.0);
+        r.total_seconds = 80.0 + 240.0;
+        assert!(r.conservation_residual().abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_sums_fault_fields() {
+        let mut a = CycleAccounting {
+            wasted_megabytes: 10.0,
+            transfer_retries: 2,
+            faults_injected: 3,
+            checkpoints_abandoned: 1,
+            ..Default::default()
+        };
+        a.absorb(&CycleAccounting {
+            wasted_megabytes: 5.0,
+            transfer_retries: 1,
+            faults_injected: 1,
+            checkpoints_abandoned: 2,
+            ..Default::default()
+        });
+        assert_eq!(a.wasted_megabytes, 15.0);
+        assert_eq!(a.transfer_retries, 3);
+        assert_eq!(a.faults_injected, 4);
+        assert_eq!(a.checkpoints_abandoned, 3);
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub use closed_form::{run_segment, run_trace};
 pub use config::CycleConfig;
 pub use guard::{clamp_interval, guarded_interval, sanitize_age, MIN_WORK_SECONDS};
 pub use machine::{CycleMachine, CyclePhase};
-pub use observer::{CycleObserver, IntervalOutcome, NoopObserver, TransferDirection};
+pub use observer::{
+    CycleObserver, IntervalOutcome, NoopObserver, TransferDirection, TransferFaultKind,
+};
 
 /// Decides the next work interval given the machine's current age
 /// (seconds since the start of its current availability segment).

@@ -26,7 +26,7 @@
 
 use crate::accounting::CycleAccounting;
 use crate::config::CycleConfig;
-use crate::observer::{CycleObserver, TransferDirection};
+use crate::observer::{CycleObserver, TransferDirection, TransferFaultKind};
 
 /// Internal phase state with per-phase accruals.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -198,6 +198,64 @@ impl CycleMachine {
         obs.on_work_committed(self.now, planned_work);
         self.state = State::Ready;
         elapsed
+    }
+
+    /// The in-flight transfer attempt faulted and the driver will retry
+    /// it in the same phase. The phase keeps running (its elapsed seconds
+    /// keep accruing through [`advance`](Self::advance), including any
+    /// retry backoff the driver waits out).
+    ///
+    /// When `resend` is true (corruption detected at commit) the whole
+    /// accrued payload is written off: it crossed the wire, so it lands
+    /// in the ledger's `megabytes` *and* `wasted_megabytes` now, and the
+    /// phase's byte accrual resets so the retry ships the full image.
+    /// When false (a resumable drop or stall) the delivered prefix
+    /// survives on the manager and nothing is wasted. Returns the wasted
+    /// megabytes.
+    pub fn fault_transfer(
+        &mut self,
+        kind: TransferFaultKind,
+        resend: bool,
+        retried: bool,
+        obs: &mut dyn CycleObserver,
+    ) -> f64 {
+        let count_bytes = self.config.count_recovery_bytes;
+        let (direction, elapsed, megabytes, counted) = match &mut self.state {
+            State::Recovery { elapsed, megabytes } => {
+                (TransferDirection::Inbound, *elapsed, megabytes, count_bytes)
+            }
+            State::Checkpoint {
+                elapsed, megabytes, ..
+            } => (TransferDirection::Outbound, *elapsed, megabytes, true),
+            other => panic!("fault_transfer() while {other:?}"),
+        };
+        let wasted = if resend && counted { *megabytes } else { 0.0 };
+        if resend {
+            *megabytes = 0.0;
+        }
+        self.acct.transfer_faulted(wasted, retried);
+        obs.on_transfer_faulted(self.now, direction, kind, elapsed, wasted);
+        wasted
+    }
+
+    /// The manager exhausted its retry budget for this checkpoint: the
+    /// process falls back to its last *verified* checkpoint, losing the
+    /// interval's planned work; whatever payload crossed the wire is
+    /// wasted. The machine stays placed and becomes
+    /// [`CyclePhase::Ready`] so the driver can plan the next interval.
+    pub fn abandon_checkpoint(&mut self, obs: &mut dyn CycleObserver) {
+        let State::Checkpoint {
+            planned_work,
+            elapsed,
+            megabytes,
+        } = self.state
+        else {
+            panic!("abandon_checkpoint() while {:?}", self.state);
+        };
+        self.acct
+            .checkpoint_abandoned(planned_work, elapsed, megabytes);
+        obs.on_checkpoint_abandoned(self.now, planned_work, megabytes);
+        self.state = State::Ready;
     }
 
     /// The owner reclaimed the machine: flush whatever is in flight as
@@ -449,5 +507,130 @@ mod tests {
         let mut m = CycleMachine::new(paper());
         m.place(f64::NAN, &mut NoopObserver);
         m.place(f64::NAN, &mut NoopObserver);
+    }
+
+    #[test]
+    fn resumable_fault_keeps_prefix_and_wastes_nothing() {
+        // A mid-checkpoint drop: the delivered prefix survives on the
+        // manager, so the retry only ships the remainder.
+        let mut m = CycleMachine::new(paper());
+        let obs = &mut NoopObserver;
+        m.place(f64::NAN, obs);
+        m.advance(50.0, 500.0);
+        m.complete_recovery(obs);
+        m.start_work(200.0, obs);
+        m.advance(200.0, 0.0);
+        m.start_checkpoint(obs);
+        m.advance(20.0, 180.0);
+        let wasted = m.fault_transfer(TransferFaultKind::Drop, false, true, obs);
+        assert_eq!(wasted, 0.0);
+        assert_eq!(m.transfer_remaining_mb(), Some(320.0));
+        m.advance(35.0, 320.0);
+        m.complete_checkpoint(obs);
+        m.cutoff(obs);
+
+        let r = m.accounting();
+        assert_eq!(r.faults_injected, 1);
+        assert_eq!(r.transfer_retries, 1);
+        assert_eq!(r.wasted_megabytes, 0.0);
+        assert_eq!(r.megabytes, 1_000.0);
+        // Phase seconds span both attempts: 20 + 35.
+        assert_eq!(r.checkpoint_seconds, 55.0);
+        assert!(r.conservation_residual().abs() < 1e-9);
+        assert!(r.byte_conservation_residual().abs() < 1e-9);
+    }
+
+    #[test]
+    fn corruption_wastes_accrued_bytes_and_resets_transfer() {
+        let mut m = CycleMachine::new(paper());
+        let obs = &mut NoopObserver;
+        m.place(f64::NAN, obs);
+        m.advance(50.0, 500.0);
+        m.complete_recovery(obs);
+        m.start_work(200.0, obs);
+        m.advance(200.0, 0.0);
+        m.start_checkpoint(obs);
+        m.advance(48.0, 500.0);
+        let wasted = m.fault_transfer(TransferFaultKind::Corruption, true, true, obs);
+        assert_eq!(wasted, 500.0);
+        // Full re-send: the whole image is pending again.
+        assert_eq!(m.transfer_remaining_mb(), Some(500.0));
+        m.advance(51.0, 500.0);
+        m.complete_checkpoint(obs);
+        m.cutoff(obs);
+
+        let r = m.accounting();
+        assert_eq!(r.wasted_megabytes, 500.0);
+        assert_eq!(r.full_megabytes, 1_000.0);
+        assert_eq!(r.megabytes, 1_500.0);
+        assert_eq!(r.useful_seconds, 200.0);
+        assert_eq!(r.checkpoint_seconds, 99.0);
+        assert!(r.conservation_residual().abs() < 1e-9);
+        assert!(r.byte_conservation_residual().abs() < 1e-9);
+    }
+
+    #[test]
+    fn abandoned_checkpoint_loses_work_and_wastes_bytes() {
+        let mut m = CycleMachine::new(paper());
+        let obs = &mut NoopObserver;
+        m.place(f64::NAN, obs);
+        m.advance(50.0, 500.0);
+        m.complete_recovery(obs);
+        m.start_work(300.0, obs);
+        m.advance(300.0, 0.0);
+        m.start_checkpoint(obs);
+        m.advance(40.0, 350.0);
+        m.abandon_checkpoint(obs);
+        assert_eq!(m.phase(), CyclePhase::Ready);
+
+        // The driver can keep planning from the last verified checkpoint.
+        m.start_work(100.0, obs);
+        m.advance(100.0, 0.0);
+        m.start_checkpoint(obs);
+        m.advance(50.0, 500.0);
+        m.complete_checkpoint(obs);
+        m.cutoff(obs);
+
+        let r = m.accounting();
+        assert_eq!(r.checkpoints_abandoned, 1);
+        assert_eq!(r.checkpoints_attempted, 2);
+        assert_eq!(r.checkpoints_committed, 1);
+        assert_eq!(r.useful_seconds, 100.0);
+        // Lost = the abandoned interval's planned work + its transfer time.
+        assert_eq!(r.lost_seconds, 340.0);
+        assert_eq!(r.lost_work_seconds, 300.0);
+        assert_eq!(r.wasted_megabytes, 350.0);
+        assert_eq!(r.megabytes, 500.0 + 350.0 + 500.0);
+        assert!(r.conservation_residual().abs() < 1e-9);
+        assert!(r.byte_conservation_residual().abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_fault_respects_byte_gate() {
+        let mut cfg = paper();
+        cfg.count_recovery_bytes = false;
+        let mut m = CycleMachine::new(cfg);
+        let obs = &mut NoopObserver;
+        m.place(f64::NAN, obs);
+        m.advance(45.0, 450.0);
+        let wasted = m.fault_transfer(TransferFaultKind::Corruption, true, true, obs);
+        assert_eq!(wasted, 0.0);
+        assert_eq!(m.accounting().wasted_megabytes, 0.0);
+        m.advance(50.0, 500.0);
+        m.complete_recovery(obs);
+        assert_eq!(m.accounting().megabytes, 0.0);
+        m.cutoff(obs);
+        assert!(m.accounting().byte_conservation_residual().abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault_transfer() while")]
+    fn fault_outside_transfer_panics() {
+        let mut m = CycleMachine::new(paper());
+        let obs = &mut NoopObserver;
+        m.place(f64::NAN, obs);
+        m.advance(50.0, 500.0);
+        m.complete_recovery(obs);
+        m.fault_transfer(TransferFaultKind::Drop, false, true, obs);
     }
 }

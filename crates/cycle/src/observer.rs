@@ -21,6 +21,25 @@ pub enum TransferDirection {
     Outbound,
 }
 
+/// What went wrong with a transfer attempt — the cycle-level vocabulary
+/// for the fault layer (`chs-net::faults` maps its parameterized fault
+/// plan onto these before they reach the machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferFaultKind {
+    /// The transfer stopped making progress and was cut by the manager's
+    /// timeout.
+    Stall,
+    /// The connection died mid-transfer; the delivered prefix survives
+    /// and the retry ships only the remainder.
+    Drop,
+    /// The transfer completed but its checksum failed at commit; the
+    /// whole image must be re-sent.
+    Corruption,
+    /// The checkpoint manager was transiently unreachable before the
+    /// transfer could start.
+    Unavailable,
+}
+
 /// How one planned work interval ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum IntervalOutcome {
@@ -81,6 +100,34 @@ pub trait CycleObserver {
     /// A checkpoint committed, crediting `seconds` of work.
     fn on_work_committed(&mut self, at: f64, seconds: f64) {
         let _ = (at, seconds);
+    }
+
+    /// An in-flight transfer attempt faulted. `elapsed` is the seconds
+    /// the phase has been running so far (attempts + backoff) and
+    /// `wasted_mb` the payload that must be re-sent (0 for resumable
+    /// drops/stalls).
+    fn on_transfer_faulted(
+        &mut self,
+        at: f64,
+        direction: TransferDirection,
+        kind: TransferFaultKind,
+        elapsed: f64,
+        wasted_mb: f64,
+    ) {
+        let _ = (at, direction, kind, elapsed, wasted_mb);
+    }
+
+    /// The driver scheduled retry number `attempt` after waiting
+    /// `backoff_seconds`.
+    fn on_retry_scheduled(&mut self, at: f64, attempt: u32, backoff_seconds: f64) {
+        let _ = (at, attempt, backoff_seconds);
+    }
+
+    /// The manager exhausted its retry budget for a checkpoint and fell
+    /// back to the last verified one: `lost_work` seconds are lost and
+    /// `wasted_mb` crossed the wire for nothing.
+    fn on_checkpoint_abandoned(&mut self, at: f64, lost_work: f64, wasted_mb: f64) {
+        let _ = (at, lost_work, wasted_mb);
     }
 
     /// The machine was reclaimed (or the observation window closed); the

@@ -9,9 +9,20 @@
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// A transfer-duration measurement the forecasters will accept: finite
+/// and non-negative. A single NaN fed to any expert would otherwise
+/// poison every subsequent forecast (NaN sums never recover, and the
+/// median's sort comparator panics), so all `update` implementations
+/// silently skip invalid values; [`AdaptiveForecaster`] additionally
+/// counts them via [`AdaptiveForecaster::rejected`].
+pub fn valid_measurement(value: f64) -> bool {
+    value.is_finite() && value >= 0.0
+}
+
 /// A streaming one-step-ahead forecaster.
 pub trait Forecaster {
-    /// Incorporate a new measurement.
+    /// Incorporate a new measurement. Non-finite or negative values are
+    /// ignored (see [`valid_measurement`]).
     fn update(&mut self, value: f64);
     /// Predict the next value; `None` until enough data has arrived.
     fn predict(&self) -> Option<f64>;
@@ -27,6 +38,9 @@ pub struct LastValue {
 
 impl Forecaster for LastValue {
     fn update(&mut self, value: f64) {
+        if !valid_measurement(value) {
+            return;
+        }
         self.last = Some(value);
     }
     fn predict(&self) -> Option<f64> {
@@ -46,6 +60,9 @@ pub struct RunningMean {
 
 impl Forecaster for RunningMean {
     fn update(&mut self, value: f64) {
+        if !valid_measurement(value) {
+            return;
+        }
         self.sum += value;
         self.count += 1;
     }
@@ -78,6 +95,9 @@ impl SlidingMean {
 
 impl Forecaster for SlidingMean {
     fn update(&mut self, value: f64) {
+        if !valid_measurement(value) {
+            return;
+        }
         self.values.push_back(value);
         self.sum += value;
         if self.values.len() > self.window {
@@ -112,6 +132,9 @@ impl SlidingMedian {
 
 impl Forecaster for SlidingMedian {
     fn update(&mut self, value: f64) {
+        if !valid_measurement(value) {
+            return;
+        }
         self.values.push_back(value);
         if self.values.len() > self.window {
             self.values.pop_front();
@@ -154,6 +177,9 @@ impl ExpSmoothing {
 
 impl Forecaster for ExpSmoothing {
     fn update(&mut self, value: f64) {
+        if !valid_measurement(value) {
+            return;
+        }
         self.state = Some(match self.state {
             None => value,
             Some(s) => self.gain * value + (1.0 - self.gain) * s,
@@ -183,6 +209,7 @@ pub struct AdaptiveForecaster {
     experts: Vec<Box<dyn Forecaster + Send>>,
     sq_errors: Vec<f64>,
     updates: Vec<u64>,
+    rejected: u64,
 }
 
 impl AdaptiveForecaster {
@@ -207,7 +234,14 @@ impl AdaptiveForecaster {
             experts,
             sq_errors: vec![0.0; n],
             updates: vec![0; n],
+            rejected: 0,
         }
+    }
+
+    /// How many measurements were rejected as non-finite or negative
+    /// (see [`valid_measurement`]).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Which expert currently has the lowest mean squared error.
@@ -231,6 +265,10 @@ impl AdaptiveForecaster {
 
 impl Forecaster for AdaptiveForecaster {
     fn update(&mut self, value: f64) {
+        if !valid_measurement(value) {
+            self.rejected += 1;
+            return;
+        }
         // Score each expert on its *prior* prediction before it sees the
         // new measurement.
         for (i, e) in self.experts.iter().enumerate() {
@@ -369,5 +407,42 @@ mod tests {
         f.update(110.0);
         // One observation: experts have data but no scored errors yet.
         assert_eq!(f.predict(), Some(110.0));
+    }
+
+    #[test]
+    fn invalid_measurements_rejected_not_propagated() {
+        // Regression: a single NaN used to poison every subsequent
+        // forecast (NaN sums never recover; the median comparator
+        // panicked outright).
+        let mut f = AdaptiveForecaster::standard();
+        for _ in 0..10 {
+            f.update(110.0);
+        }
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -5.0] {
+            f.update(bad);
+        }
+        assert_eq!(f.rejected(), 4);
+        f.update(110.0);
+        let p = f.predict().unwrap();
+        assert!(p.is_finite(), "forecast poisoned: {p}");
+        assert!((p - 110.0).abs() < 1e-9, "forecast drifted: {p}");
+    }
+
+    #[test]
+    fn each_expert_skips_invalid_values() {
+        let experts: Vec<Box<dyn Forecaster + Send>> = vec![
+            Box::new(LastValue::default()),
+            Box::new(RunningMean::default()),
+            Box::new(SlidingMean::new(4)),
+            Box::new(SlidingMedian::new(4)),
+            Box::new(ExpSmoothing::new(0.3)),
+        ];
+        for mut e in experts {
+            e.update(50.0);
+            e.update(f64::NAN);
+            e.update(-1.0);
+            e.update(f64::INFINITY);
+            assert_eq!(e.predict(), Some(50.0), "{} poisoned", e.name());
+        }
     }
 }

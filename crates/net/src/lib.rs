@@ -14,13 +14,19 @@
 //! * [`transfer`] — stochastic transfer-time models for the two paths the
 //!   paper measures: the campus LAN (500 MB ≈ 110 s) and the wide-area
 //!   path to the authors' home institution (500 MB ≈ 475 s).
+//! * [`faults`] — deterministic, seed-driven fault injection for those
+//!   transfers ([`faults::FaultPlan`]) and the manager-side resilience
+//!   knobs ([`faults::RetryPolicy`]); per-decision seeding keeps a
+//!   zero-fault plan bitwise-invisible to the drivers.
 
 #![deny(missing_docs)]
 
+pub mod faults;
 pub mod forecast;
 pub mod timevary;
 pub mod transfer;
 
-pub use forecast::{AdaptiveForecaster, Forecaster};
+pub use faults::{FaultPlan, RetryPolicy, TransferFault};
+pub use forecast::{valid_measurement, AdaptiveForecaster, Forecaster};
 pub use timevary::{evaluate_forecasters, DiurnalPath, ForecasterScore};
 pub use transfer::{NetworkPath, TransferModel};

@@ -18,15 +18,32 @@
 
 use crate::engine::{simulate_trace, SimConfig};
 use crate::metrics::SimResult;
-use crate::policy::CachedPolicy;
+use crate::policy::{CachedPolicy, FixedIntervalPolicy};
 use chs_dist::fit::fit_model;
-use chs_dist::{FittedModel, ModelKind};
+use chs_dist::{Exponential, FittedModel, ModelKind};
 use chs_markov::CheckpointCosts;
+use chs_net::FaultPlan;
 use chs_stats::mean;
 use chs_trace::{MachineId, MachinePool};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Which policy tier a `(machine, family)` slot runs on after
+/// fit-failure handling: the requested family, the exponential-MLE
+/// fallback, or Young's fixed interval — the resilient prepare's
+/// degradation chain ([`prepare_experiments_resilient`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FitFallback {
+    /// The requested family fitted normally.
+    Native,
+    /// The family's fit failed (or was injected to fail); the slot runs
+    /// on an exponential-MLE fit of the same training prefix.
+    Exponential,
+    /// Even the exponential fallback failed; the slot runs on the fixed
+    /// interval `√(2·C·mean_train)`.
+    Fixed,
+}
 
 /// One machine prepared for the sweep: its four fitted models plus the
 /// held-out experimental durations.
@@ -37,6 +54,14 @@ pub struct MachineExperiment {
     /// Fitted models, in [`ModelKind::PAPER_SET`] order, shared with
     /// every sweep cell that simulates this machine.
     pub fits: Vec<Arc<FittedModel>>,
+    /// Policy tier per family, aligned with `fits`. All `Native` from
+    /// the classic prepare; the resilient prepare records which slots
+    /// degraded (a `Fixed` slot's `fits` entry is a placeholder the
+    /// sweep never consults).
+    pub fallbacks: Vec<FitFallback>,
+    /// Mean of the training prefix: the MTTF estimate Young's fixed
+    /// interval uses when a slot degrades all the way to `Fixed`.
+    pub mean_train: f64,
     /// The experimental (held-out) durations.
     pub test_durations: Vec<f64>,
 }
@@ -76,6 +101,13 @@ pub struct PrepareReport {
     /// order (a machine defeating several estimators counts once in
     /// each).
     pub fit_failures: Vec<FitFailureCount>,
+    /// Slots the resilient prepare degraded to the exponential-MLE
+    /// fallback instead of dropping the machine (always 0 from the
+    /// classic prepare).
+    pub fallback_exponential: usize,
+    /// Slots that degraded past the exponential fallback to Young's
+    /// fixed interval (always 0 from the classic prepare).
+    pub fallback_fixed: usize,
 }
 
 /// [`prepare_experiments`] plus its [`PrepareReport`].
@@ -129,7 +161,7 @@ pub fn prepare_experiments_reported(pool: &MachinePool, train_len: usize) -> Pre
         .collect();
     let mut dropped_fit_failure = 0usize;
     let mut fit_iter = fits.into_iter();
-    for (machine, _train, test) in splits {
+    for (machine, train, test) in splits {
         let family: Vec<chs_dist::Result<FittedModel>> = (0..n_k)
             .map(|_| fit_iter.next().expect("index-aligned"))
             .collect();
@@ -140,6 +172,8 @@ pub fn prepare_experiments_reported(pool: &MachinePool, train_len: usize) -> Pre
                     .into_iter()
                     .map(|fit| Arc::new(fit.expect("checked ok")))
                     .collect(),
+                fallbacks: vec![FitFallback::Native; n_k],
+                mean_train: mean(&train),
                 test_durations: test,
             });
         } else {
@@ -158,6 +192,8 @@ pub fn prepare_experiments_reported(pool: &MachinePool, train_len: usize) -> Pre
         dropped_short_trace,
         dropped_fit_failure,
         fit_failures,
+        fallback_exponential: 0,
+        fallback_fixed: 0,
     };
     PreparedExperiments {
         experiments,
@@ -169,6 +205,115 @@ pub fn prepare_experiments_reported(pool: &MachinePool, train_len: usize) -> Pre
 /// original surface, kept for callers that only need the experiments.
 pub fn prepare_experiments(pool: &MachinePool, train_len: usize) -> Vec<MachineExperiment> {
     prepare_experiments_reported(pool, train_len).experiments
+}
+
+/// Degradation chain for one `(machine, family)` slot: exponential-MLE
+/// fit of the same training prefix, then Young's fixed interval. The
+/// `Fixed` tier's fit entry is a placeholder ([`run_cell_item`] switches
+/// to [`FixedIntervalPolicy`] and never consults it).
+fn degraded_slot(train: &[f64], mean_train: f64) -> (FittedModel, FitFallback) {
+    match fit_model(ModelKind::Exponential, train) {
+        Ok(fit) => (fit, FitFallback::Exponential),
+        Err(_) => (
+            FittedModel::Exponential(
+                Exponential::from_mean(mean_train.max(1.0)).expect("positive mean"),
+            ),
+            FitFallback::Fixed,
+        ),
+    }
+}
+
+/// Fault-aware prepare: like [`prepare_experiments_reported`], but a fit
+/// failure — natural, or injected through `plan.fit_failure(machine,
+/// family)` — **degrades the slot instead of dropping the machine**:
+/// first to an exponential-MLE fit of the same training prefix, then to
+/// Young's fixed interval `√(2·C·mean_train)`. Only short traces are
+/// still dropped (nothing can be fitted to them); every degradation is
+/// counted in the report, so no machine leaves the sweep silently.
+pub fn prepare_experiments_resilient(
+    pool: &MachinePool,
+    train_len: usize,
+    plan: &FaultPlan,
+) -> PreparedExperiments {
+    let kinds = ModelKind::PAPER_SET;
+    let n_k = kinds.len();
+
+    let mut splits: Vec<(MachineId, Vec<f64>, Vec<f64>)> = Vec::new();
+    let mut dropped_short_trace = 0usize;
+    for trace in pool.traces() {
+        match trace.split(train_len) {
+            Ok((train, test)) if !test.is_empty() => splits.push((trace.machine, train, test)),
+            _ => dropped_short_trace += 1,
+        }
+    }
+
+    // Flat fan-out over (machine, family); injected failures skip the
+    // native fit entirely (the paper's estimator "fails" by decree).
+    let fits: Vec<Option<chs_dist::Result<FittedModel>>> = (0..splits.len() * n_k)
+        .into_par_iter()
+        .map(|idx| {
+            let (ei, mi) = (idx / n_k, idx % n_k);
+            let (machine, train, _) = &splits[ei];
+            if plan.fit_failure(machine.0 as u64, mi as u64) {
+                None
+            } else {
+                Some(fit_model(kinds[mi], train))
+            }
+        })
+        .collect();
+
+    let mut experiments = Vec::with_capacity(splits.len());
+    let mut fit_failures: Vec<FitFailureCount> = kinds
+        .iter()
+        .map(|&kind| FitFailureCount { kind, failures: 0 })
+        .collect();
+    let mut fallback_exponential = 0usize;
+    let mut fallback_fixed = 0usize;
+    let mut fit_iter = fits.into_iter();
+    for (machine, train, test) in splits {
+        let mean_train = mean(&train);
+        let mut slot_fits = Vec::with_capacity(n_k);
+        let mut fallbacks = Vec::with_capacity(n_k);
+        for counter in fit_failures.iter_mut().take(n_k) {
+            let native = fit_iter.next().expect("index-aligned");
+            let (fit, tier) = match native {
+                Some(Ok(fit)) => (fit, FitFallback::Native),
+                Some(Err(_)) => {
+                    counter.failures += 1;
+                    degraded_slot(&train, mean_train)
+                }
+                None => degraded_slot(&train, mean_train),
+            };
+            match tier {
+                FitFallback::Native => {}
+                FitFallback::Exponential => fallback_exponential += 1,
+                FitFallback::Fixed => fallback_fixed += 1,
+            }
+            slot_fits.push(Arc::new(fit));
+            fallbacks.push(tier);
+        }
+        experiments.push(MachineExperiment {
+            machine,
+            fits: slot_fits,
+            fallbacks,
+            mean_train,
+            test_durations: test,
+        });
+    }
+
+    let report = PrepareReport {
+        machines_total: pool.len(),
+        machines_usable: experiments.len(),
+        dropped_short_trace,
+        dropped_fit_failure: 0,
+        fit_failures,
+        fallback_exponential,
+        fallback_fixed,
+    };
+    PreparedExperiments {
+        experiments,
+        report,
+    }
 }
 
 /// The per-(C, model) cell of a sweep: per-machine metrics, index-aligned
@@ -222,6 +367,16 @@ fn run_cell_item(
     image_mb: f64,
     warm: bool,
 ) -> SimResult {
+    let mut config = SimConfig::paper(c);
+    config.image_mb = image_mb;
+    // A slot degraded past the exponential fallback schedules with
+    // Young's fixed interval; its fit entry is a placeholder.
+    if exp.fallbacks.get(model_index) == Some(&FitFallback::Fixed) {
+        let policy = FixedIntervalPolicy {
+            interval: (2.0 * c.max(0.0) * exp.mean_train).sqrt().max(1.0),
+        };
+        return simulate_trace(&exp.test_durations, &policy, &config).expect("validated durations");
+    }
     let fit = Arc::clone(&exp.fits[model_index]);
     let costs = CheckpointCosts::symmetric(c);
     let policy = if warm {
@@ -229,8 +384,6 @@ fn run_cell_item(
     } else {
         CachedPolicy::new_cold(fit, costs, max_age)
     };
-    let mut config = SimConfig::paper(c);
-    config.image_mb = image_mb;
     simulate_trace(&exp.test_durations, &policy, &config).expect("validated durations")
 }
 
@@ -421,6 +574,83 @@ mod tests {
         assert_eq!(r.dropped_short_trace, 4);
         assert_eq!(r.machines_usable, 0);
         assert_eq!(r.dropped_fit_failure, 0);
+    }
+
+    #[test]
+    fn resilient_prepare_never_drops_for_fit_failure() {
+        let pool = small_pool();
+        // Every (machine, family) fit injected to fail.
+        let plan = FaultPlan {
+            p_fit_failure: 1.0,
+            ..FaultPlan::none()
+        };
+        let prepared = prepare_experiments_resilient(&pool, 25, &plan);
+        let classic = prepare_experiments_reported(&pool, 25);
+        // Same machines survive as the classic prepare keeps plus every
+        // machine the classic prepare dropped for fit failure.
+        assert_eq!(
+            prepared.report.machines_usable,
+            classic.report.machines_usable + classic.report.dropped_fit_failure
+        );
+        assert_eq!(prepared.report.dropped_fit_failure, 0);
+        assert_eq!(
+            prepared.report.fallback_exponential + prepared.report.fallback_fixed,
+            prepared.report.machines_usable * ModelKind::PAPER_SET.len(),
+            "every slot must land on a fallback tier"
+        );
+        for e in &prepared.experiments {
+            assert_eq!(e.fallbacks.len(), ModelKind::PAPER_SET.len());
+            assert!(e.fallbacks.iter().all(|f| *f != FitFallback::Native));
+        }
+        // The degraded pool still sweeps: every machine covered.
+        let grid = sweep_paper_grid(&prepared.experiments, &[250.0], 500.0);
+        assert_eq!(grid.machines.len(), prepared.experiments.len());
+        for cell in &grid.cells[0] {
+            assert_eq!(cell.efficiency.len(), prepared.experiments.len());
+            for &eff in &cell.efficiency {
+                assert!((0.0..=1.0).contains(&eff), "efficiency {eff}");
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_prepare_with_zero_plan_matches_classic() {
+        let pool = small_pool();
+        let resilient = prepare_experiments_resilient(&pool, 25, &FaultPlan::none());
+        let classic = prepare_experiments_reported(&pool, 25);
+        // With no injection and no natural failures the experiment lists
+        // agree machine-for-machine and every slot is Native.
+        assert_eq!(
+            resilient.experiments.len(),
+            classic.experiments.len() // small_pool has no natural failures
+        );
+        for (r, c) in resilient.experiments.iter().zip(&classic.experiments) {
+            assert_eq!(r.machine, c.machine);
+            assert_eq!(r.test_durations, c.test_durations);
+            assert!(r.fallbacks.iter().all(|f| *f == FitFallback::Native));
+            for (rf, cf) in r.fits.iter().zip(&c.fits) {
+                assert_eq!(rf.kind(), cf.kind());
+            }
+        }
+        assert_eq!(resilient.report.fallback_exponential, 0);
+        assert_eq!(resilient.report.fallback_fixed, 0);
+    }
+
+    #[test]
+    fn fixed_tier_slots_run_youngs_interval() {
+        let pool = small_pool();
+        let plan = FaultPlan {
+            p_fit_failure: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut prepared = prepare_experiments_resilient(&pool, 25, &plan);
+        // Force one slot all the way down to the Fixed tier and check the
+        // sweep still produces sane metrics for it.
+        prepared.experiments[0].fallbacks[0] = FitFallback::Fixed;
+        let grid = sweep_paper_grid(&prepared.experiments[..1], &[100.0], 500.0);
+        let eff = grid.cells[0][0].efficiency[0];
+        assert!((0.0..=1.0).contains(&eff));
+        assert!(grid.cells[0][0].aggregate.conservation_residual().abs() < 1e-3);
     }
 
     #[test]
