@@ -19,6 +19,7 @@
 use super::estep::{estep_batched, EstepScratch};
 use super::validate_data;
 use crate::{DistError, HyperExponential, Result};
+use serde::{Deserialize, Serialize};
 
 /// Slack allowed to the raced multi-start, in **per-observation**
 /// log-likelihood units: the raced fit's final log-likelihood must stay
@@ -270,11 +271,34 @@ fn geometric_fractions(k: usize, r: f64) -> Vec<f64> {
     raw.into_iter().map(|x| x / total).collect()
 }
 
+/// Reusable E-step workspace for callers driving [`EmState::advance`]
+/// directly (the streaming refit path). One scratch serves any number of
+/// sequential advances with the same phase count.
+#[derive(Debug)]
+pub struct EmScratch {
+    inner: EstepScratch,
+}
+
+impl EmScratch {
+    /// Workspace for `phases`-phase E-steps.
+    pub fn new(phases: usize) -> Self {
+        Self {
+            inner: EstepScratch::new(phases),
+        }
+    }
+}
+
 /// A resumable EM run: one multi-start candidate's parameters plus the
 /// bookkeeping needed to pause it after a racing burn-in and resume it
 /// later on exactly the trajectory an uninterrupted run would follow.
-#[derive(Debug, Clone)]
-struct EmState {
+///
+/// Public (and serializable) so long-running services can park a
+/// mid-burn-in fit, persist it, and resume later: a deserialized state
+/// advanced by `b₂` iterations lands bitwise on the trajectory the
+/// uninterrupted `b₁ + b₂`-iteration run follows (pinned by the
+/// `em_resume` regression suite).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmState {
     weights: Vec<f64>,
     rates: Vec<f64>,
     /// Log-likelihood computed by the most recent E-step (the likelihood
@@ -298,7 +322,9 @@ struct EmState {
 }
 
 impl EmState {
-    fn new(weights: Vec<f64>, rates: Vec<f64>) -> Self {
+    /// Fresh state from an initial mixture guess. `weights` and `rates`
+    /// must be the same length; EM itself repairs degenerate values.
+    pub fn new(weights: Vec<f64>, rates: Vec<f64>) -> Self {
         Self {
             weights,
             rates,
@@ -310,6 +336,79 @@ impl EmState {
             eliminated: false,
             monotone: true,
         }
+    }
+
+    /// Seed a resumable state from an already-fitted mixture — the warm
+    /// start a streaming refit resumes from after the data window moved.
+    pub fn from_model(model: &HyperExponential) -> Self {
+        Self::new(model.weights().to_vec(), model.rates().to_vec())
+    }
+
+    /// Advance by up to `budget` iterations over `data`, stopping early
+    /// on convergence or degeneracy. Splitting one budget across several
+    /// calls reproduces the single-call trajectory bitwise.
+    pub fn advance(
+        &mut self,
+        data: &[f64],
+        budget: usize,
+        options: &EmOptions,
+        scratch: &mut EmScratch,
+    ) {
+        em_advance(data, self, budget, options, &mut scratch.inner);
+    }
+
+    /// Re-open a converged (or fresh) state for a **new** data window:
+    /// convergence bookkeeping is reset so the next [`EmState::advance`]
+    /// iterates against the new likelihood surface, while the fitted
+    /// mixture carries over as the warm start.
+    pub fn reopen(&mut self) {
+        self.ll = f64::NEG_INFINITY;
+        self.prev_ll = f64::NEG_INFINITY;
+        self.iterations = 0;
+        self.converged = false;
+        self.monotone = true;
+    }
+
+    /// The current mixture, repaired into a valid [`HyperExponential`]
+    /// (near-identical phases merged, weights renormalized).
+    pub fn model(&self) -> Result<HyperExponential> {
+        let phases: Vec<(f64, f64)> = self
+            .weights
+            .iter()
+            .copied()
+            .zip(self.rates.iter().copied())
+            .collect();
+        build_repaired(&phases)
+    }
+
+    /// Log-likelihood reported by the most recent E-step.
+    pub fn log_likelihood(&self) -> f64 {
+        self.ll
+    }
+
+    /// Iterations consumed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the state converged to the options' tolerance.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Whether the run degenerated beyond repair.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Current mixture weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Current phase rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
     }
 }
 

@@ -17,15 +17,20 @@ mod em;
 mod estep;
 mod exponential;
 mod moments;
+mod streaming;
 mod weibull;
 
 pub use censored::{
     censor_at_window, censored_log_likelihood, fit_exponential_censored, fit_weibull_censored,
     CensoredObs,
 };
-pub use em::{fit_hyperexponential, EmOptions, EmReport, RACE_LL_SLACK};
+pub use em::{fit_hyperexponential, EmOptions, EmReport, EmScratch, EmState, RACE_LL_SLACK};
 pub use exponential::fit_exponential;
 pub use moments::fit_hyperexp2_moments;
+pub use streaming::{
+    refit_window, DetectorConfig, RefitOutcome, RefitTrigger, RegimeDetector, SlidingWindow,
+    StreamingFit, StreamingFitConfig, WindowStats,
+};
 pub use weibull::fit_weibull;
 
 /// Validate a plain sample with the crate's default minimum size —

@@ -344,7 +344,12 @@ impl WeibullKernel {
             None
         };
         let q_lo = if zt >= 1.0 {
-            chs_numerics::special::reg_inc_gamma_q(inv_shape, zt).ok()
+            // Same subnormal gate as `Weibull::conditional_survival_integral`:
+            // a subnormal Q has too few mantissa bits to difference against
+            // `q_hi`, so those ages must take the quadrature fallback.
+            chs_numerics::special::reg_inc_gamma_q(inv_shape, zt)
+                .ok()
+                .filter(|&q| q >= f64::MIN_POSITIVE)
         } else {
             None
         };
@@ -663,6 +668,35 @@ mod tests {
             let (s, tm) = kern.survival_and_truncated_mean(a);
             assert_eq!(s.to_bits(), kern.survival(a).to_bits());
             assert_eq!(tm.to_bits(), kern.truncated_mean(a).to_bits());
+        }
+    }
+
+    /// Ages where `z_t` lands in ~[708, 745] make `Q(1/α, z_t)`
+    /// subnormal: the closed-form tail integral used to difference two
+    /// near-ulp quantities and return finite garbage (~10% errors in Γ,
+    /// visible as branch-hopping `T_opt(age)`). Those ages must take the
+    /// quadrature fallback, which integrates the stable survival ratio.
+    #[test]
+    fn subnormal_tail_q_takes_quadrature_not_garbage() {
+        // A fleet fit that reproduced the glitch: z_t ≈ 744.6 here.
+        let w = Weibull::new(0.9387113626453845, 1080.429178916454).unwrap();
+        let age = 1_238_663.234801525;
+        let kern = ConditionedDist::new(&w, age);
+        let fl = FutureLifetime::new(&w, age);
+        for &a in &[500.0, 1_000.0, 2_000.0, 5_000.0, 20_000.0] {
+            let got = kern.survival_integral(a);
+            let reference = chs_numerics::quadrature::composite_gauss_legendre(
+                |x| kern.survival(x),
+                0.0,
+                a,
+                256,
+            );
+            assert!(
+                (got / reference - 1.0).abs() < 1e-6,
+                "a={a}: kernel {got} vs reference {reference}"
+            );
+            // The trait path must agree bitwise (same guard, same fallback).
+            assert_eq!(got.to_bits(), fl.survival_integral(a).to_bits(), "a={a}");
         }
     }
 

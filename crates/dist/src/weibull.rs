@@ -182,6 +182,12 @@ impl AvailabilityModel for Weibull {
                 Some(zt.exp() * scale_term * ln_g.exp() * (p_hi - p_lo))
             } else {
                 let q_lo = chs_numerics::special::reg_inc_gamma_q(s, zt).ok()?;
+                if q_lo < f64::MIN_POSITIVE {
+                    // Subnormal Q (z_t roughly in [708, 745]): only a few
+                    // mantissa bits survive, so the differenced log form
+                    // below returns finite garbage rather than failing.
+                    return None;
+                }
                 let q_hi = chs_numerics::special::reg_inc_gamma_q(s, zta).ok()?;
                 let diff = q_lo - q_hi;
                 if diff <= 1e-8 * q_lo {

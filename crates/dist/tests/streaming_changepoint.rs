@@ -1,0 +1,243 @@
+//! Satellite coverage for the streaming-refit layer:
+//!
+//! * change-point detection — synthetic regime shifts (exp→weibull,
+//!   rate doubling) must trigger within a bounded observation lag, and
+//!   stationary traces must never trigger (false-positive budget 0 over
+//!   the proptest corpus);
+//! * `EmState` serde round-trip — serialize mid-burn-in, resume from the
+//!   deserialized state, and land on a bitwise-equal final fit.
+
+use chs_dist::fit::{
+    DetectorConfig, EmOptions, EmScratch, EmState, RefitTrigger, StreamingFit, StreamingFitConfig,
+};
+use chs_dist::{AvailabilityModel, Exponential, HyperExponential, ModelKind, Weibull};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Detector geometry used throughout: 128-observation window, armed
+/// after 48, 10-nat threshold (the library defaults, spelled out so the
+/// lag bounds below are self-describing).
+fn config(kind: ModelKind) -> StreamingFitConfig {
+    StreamingFitConfig {
+        kind,
+        window: 64,
+        min_fit_observations: 25,
+        detector: DetectorConfig {
+            window: 128,
+            min_observations: 48,
+            threshold: 10.0,
+        },
+        // Detector-only runs: no cadence refits, so the installed model
+        // stays frozen and any refit is attributable to the detector.
+        refresh_every: None,
+        warm_iterations: 400,
+    }
+}
+
+/// Stream `pre` stationary observations (installing the initial fit
+/// along the way), then switch generators and return how many post-shift
+/// observations it took for the detector to fire (`None` if it never
+/// did within `post` observations).
+fn lag_until_trigger(
+    mut fit: StreamingFit,
+    before: &dyn AvailabilityModel,
+    after: &dyn AvailabilityModel,
+    pre: usize,
+    post: usize,
+    seed: u64,
+) -> Option<usize> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    for _ in 0..pre {
+        let t = fit.step(before.sample(&mut rng)).unwrap();
+        assert_ne!(
+            t,
+            Some(RefitTrigger::RegimeShift),
+            "false positive during the stationary warm-up"
+        );
+    }
+    assert!(fit.model().is_some(), "initial fit never installed");
+    (1..=post)
+        .find(|_| fit.step(after.sample(&mut rng)).unwrap() == Some(RefitTrigger::RegimeShift))
+}
+
+/// Two detector windows (2 × 128). Both synthetic shifts carry ≥ 0.19
+/// nats of evidence per observation on both GLR sides, so ~65
+/// post-shift observations already clear the 10-nat threshold in
+/// expectation (after the split test's CV² studentization); 2× window
+/// is a comfortable deterministic bound.
+const MAX_LAG: usize = 256;
+
+/// Stationary observations streamed before the shift: enough for the
+/// initial fit (25), a detector window to fill (128), and the split
+/// reference to accumulate past its arming floor (48), so the detector
+/// is live before the regime moves.
+const PRE: usize = 240;
+
+#[test]
+fn rate_doubling_triggers_within_bounded_lag() {
+    // exp(mean 700) → exp(mean 350): KL = ln2 − ½ ≈ 0.19 nats/obs.
+    let before = Exponential::from_mean(700.0).unwrap();
+    let after = Exponential::from_mean(350.0).unwrap();
+    for seed in [3u64, 17, 2005] {
+        let fit = StreamingFit::new(config(ModelKind::Exponential)).unwrap();
+        let lag = lag_until_trigger(fit, &before, &after, PRE, MAX_LAG, seed)
+            .unwrap_or_else(|| panic!("rate doubling never detected (seed {seed})"));
+        assert!(lag <= MAX_LAG, "lag {lag} (seed {seed})");
+    }
+}
+
+#[test]
+fn exp_to_weibull_shift_triggers_within_bounded_lag() {
+    // exp(mean 700) → the paper's heavy-tailed Weibull exemplar (mean
+    // ~8900s): both the rate move and the shape move count against the
+    // stale exponential fit.
+    let before = Exponential::from_mean(700.0).unwrap();
+    let after = Weibull::paper_exemplar();
+    for seed in [5u64, 23, 1999] {
+        let fit = StreamingFit::new(config(ModelKind::Exponential)).unwrap();
+        let lag = lag_until_trigger(fit, &before, &after, PRE, MAX_LAG, seed)
+            .unwrap_or_else(|| panic!("exp→weibull shift never detected (seed {seed})"));
+        assert!(lag <= MAX_LAG, "lag {lag} (seed {seed})");
+    }
+}
+
+#[test]
+fn detected_shift_refits_to_the_new_regime() {
+    // After the trigger the installed model must describe the *new*
+    // regime: mean within a factor of 2 of the post-shift truth.
+    let before = Exponential::from_mean(700.0).unwrap();
+    let after = Exponential::from_mean(350.0).unwrap();
+    let mut fit = StreamingFit::new(config(ModelKind::Exponential)).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+    for _ in 0..PRE {
+        fit.step(before.sample(&mut rng)).unwrap();
+    }
+    for _ in 0..256 {
+        fit.step(after.sample(&mut rng)).unwrap();
+    }
+    assert!(fit.triggers() >= 1, "shift never detected");
+    let mean = fit.model().unwrap().mean();
+    assert!(
+        (175.0..700.0).contains(&mean),
+        "post-shift fit mean {mean} still tracks the old regime"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// False-positive budget 0: stationary exponential traces never trip
+    /// the detector across the corpus (seeds × means), 600 observations
+    /// each — hundreds of armed detector decisions past the initial fit.
+    #[test]
+    fn stationary_exponential_never_triggers(
+        seed in 0u64..1_000_000,
+        mean_log in 1.5f64..4.5,
+    ) {
+        let truth = Exponential::from_mean(10f64.powf(mean_log)).unwrap();
+        let mut fit = StreamingFit::new(config(ModelKind::Exponential)).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..600 {
+            let t = fit.step(truth.sample(&mut rng)).unwrap();
+            prop_assert!(t != Some(RefitTrigger::RegimeShift));
+        }
+        prop_assert_eq!(fit.triggers(), 0);
+    }
+
+    /// Same budget for heavy-tailed stationary traces: a Weibull regime
+    /// fitted by a Weibull must not look like a shift to the exponential
+    /// alternative (its best case is −n·KL < 0 there).
+    #[test]
+    fn stationary_weibull_never_triggers(
+        seed in 0u64..1_000_000,
+        shape in 0.35f64..1.2,
+        scale_log in 2.0f64..4.0,
+    ) {
+        let truth = Weibull::new(shape, 10f64.powf(scale_log)).unwrap();
+        let mut fit = StreamingFit::new(config(ModelKind::Weibull)).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..600 {
+            let t = fit.step(truth.sample(&mut rng)).unwrap();
+            prop_assert!(t != Some(RefitTrigger::RegimeShift));
+        }
+        prop_assert_eq!(fit.triggers(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// EmState serde round-trip
+// ---------------------------------------------------------------------
+
+/// Drive one EM start to completion in a single uninterrupted budget.
+fn run_uninterrupted(data: &[f64], start: &EmState, options: &EmOptions) -> EmState {
+    let mut state = start.clone();
+    let mut scratch = EmScratch::new(state.rates().len());
+    state.advance(data, options.max_iterations, options, &mut scratch);
+    state
+}
+
+#[test]
+fn em_state_serde_round_trip_resumes_bitwise() {
+    // Serialize mid-burn-in (13 of 25 burn-in iterations spent), resume
+    // from the JSON round-trip, and require the final fit to be bitwise
+    // equal to the uninterrupted run: weights, rates, log-likelihood,
+    // iteration count, convergence flag.
+    // Overlapping phases (mean ratio only 3×) keep EM far from converged
+    // at the 13-iteration checkpoint.
+    let truth = HyperExponential::new(&[(0.55, 1.0 / 300.0), (0.45, 1.0 / 900.0)]).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2005);
+    let data: Vec<f64> = (0..300).map(|_| truth.sample(&mut rng)).collect();
+    let options = EmOptions::default();
+
+    // A deliberately crude warm start (equal weights, rates an order of
+    // magnitude apart around the sample mean) so convergence takes well
+    // over the 13-iteration checkpoint.
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    let start = EmState::new(vec![0.5, 0.5], vec![0.3 / mean, 10.0 / mean]);
+
+    let oracle = run_uninterrupted(&data, &start, &options);
+    assert!(oracle.converged(), "oracle run must converge");
+
+    let mut state = start.clone();
+    let mut scratch = EmScratch::new(state.rates().len());
+    state.advance(&data, 13, &options, &mut scratch);
+    assert!(!state.converged(), "13 iterations must not converge here");
+
+    let json = serde_json::to_string(&state).expect("serialize mid-burn-in");
+    let mut resumed: EmState = serde_json::from_str(&json).expect("deserialize");
+    let mut scratch2 = EmScratch::new(resumed.rates().len());
+    resumed.advance(
+        &data,
+        options.max_iterations - resumed.iterations(),
+        &options,
+        &mut scratch2,
+    );
+
+    assert_eq!(resumed.iterations(), oracle.iterations(), "iterations");
+    assert_eq!(resumed.converged(), oracle.converged(), "convergence flag");
+    assert_eq!(
+        resumed.log_likelihood().to_bits(),
+        oracle.log_likelihood().to_bits(),
+        "log-likelihood"
+    );
+    assert_eq!(resumed.weights().len(), oracle.weights().len());
+    for j in 0..resumed.weights().len() {
+        assert_eq!(
+            resumed.weights()[j].to_bits(),
+            oracle.weights()[j].to_bits(),
+            "weight[{j}]"
+        );
+        assert_eq!(
+            resumed.rates()[j].to_bits(),
+            oracle.rates()[j].to_bits(),
+            "rate[{j}]"
+        );
+    }
+    let a = resumed.model().unwrap();
+    let b = oracle.model().unwrap();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "built models"
+    );
+}

@@ -34,10 +34,15 @@
 
 pub mod predict;
 mod schedule;
+mod store;
 mod vaidya;
 
 pub use predict::{predict_steady_state, SteadyStatePrediction};
 pub use schedule::{Schedule, ScheduleEntry};
+pub use store::{
+    mix64, CompressedPolicy, CompressionConfig, DedupKey, PolicyCache, PolicyStore, StoreStats,
+    DEFAULT_MAX_AGE, DEFAULT_MAX_REL_ERROR,
+};
 pub use vaidya::{CheckpointCosts, GammaAtAge, IntervalQuantities, OptimalInterval, VaidyaModel};
 
 #[cfg(feature = "bench-counters")]

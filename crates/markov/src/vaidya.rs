@@ -454,7 +454,13 @@ impl<'a> VaidyaModel<'a> {
     /// The distribution is conditioned on `age` exactly once; every Γ
     /// probe of the search reuses that kernel.
     pub fn optimal_interval(&self, age: f64) -> Result<OptimalInterval> {
-        let view = self.at_age(age);
+        self.optimal_interval_full(&self.at_age(age))
+    }
+
+    /// Full-bracket golden-section search through an already-conditioned
+    /// view. Shared by the cold search and the warm-start fallback so a
+    /// fallback never rebuilds the kernel the warm attempt just used.
+    fn optimal_interval_full(&self, view: &GammaAtAge<'_, 'a>) -> Result<OptimalInterval> {
         let lo = self.t_min.ln();
         let hi = self.t_max.ln();
         let obj = view.log_objective();
@@ -493,7 +499,10 @@ impl<'a> VaidyaModel<'a> {
         let at_edge = (refined.x - lo).abs() < 1e-3 && u0 - lo > 0.1
             || (hi - refined.x).abs() < 1e-3 && hi - u0 > 0.1;
         if escaped || at_edge || !refined.f.is_finite() {
-            return self.optimal_interval(age);
+            // Fall back through the same view: one kernel per age even
+            // when the hint proves useless, instead of reconditioning
+            // for the cold search.
+            return self.optimal_interval_full(&view);
         }
         Ok(view.interval_at(refined.x.clamp(lo, hi).exp()))
     }

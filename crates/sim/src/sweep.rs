@@ -23,6 +23,7 @@ use chs_dist::fit::fit_model;
 use chs_dist::{Exponential, FittedModel, ModelKind};
 use chs_markov::CheckpointCosts;
 use chs_net::FaultPlan;
+use chs_sched::ingest::{fit_batch, FitItem};
 use chs_stats::mean;
 use chs_trace::{MachineId, MachinePool};
 use rayon::prelude::*;
@@ -147,11 +148,14 @@ pub fn prepare_experiments_reported(pool: &MachinePool, train_len: usize) -> Pre
         }
     }
 
-    // Flat fan-out: one work item per (machine, family).
-    let fits: Vec<chs_dist::Result<FittedModel>> = (0..splits.len() * n_k)
-        .into_par_iter()
-        .map(|idx| fit_model(kinds[idx % n_k], &splits[idx / n_k].1))
+    // Flat fan-out: one work item per (machine, family), routed through
+    // the online scheduler's shared ingest path — batch prepare is a
+    // replay of the same fan-out the serving loop uses.
+    let items: Vec<FitItem<'_>> = splits
+        .iter()
+        .flat_map(|(_, train, _)| kinds.iter().map(|&kind| FitItem::new(kind, train)))
         .collect();
+    let fits = fit_batch(&items);
 
     // Index-aligned reduction in machine order.
     let mut experiments = Vec::with_capacity(splits.len());
@@ -163,7 +167,12 @@ pub fn prepare_experiments_reported(pool: &MachinePool, train_len: usize) -> Pre
     let mut fit_iter = fits.into_iter();
     for (machine, train, test) in splits {
         let family: Vec<chs_dist::Result<FittedModel>> = (0..n_k)
-            .map(|_| fit_iter.next().expect("index-aligned"))
+            .map(|_| {
+                fit_iter
+                    .next()
+                    .expect("index-aligned")
+                    .expect("every classic-prepare item is enabled")
+            })
             .collect();
         if family.iter().all(Result::is_ok) {
             experiments.push(MachineExperiment {
@@ -247,20 +256,23 @@ pub fn prepare_experiments_resilient(
         }
     }
 
-    // Flat fan-out over (machine, family); injected failures skip the
-    // native fit entirely (the paper's estimator "fails" by decree).
-    let fits: Vec<Option<chs_dist::Result<FittedModel>>> = (0..splits.len() * n_k)
-        .into_par_iter()
-        .map(|idx| {
-            let (ei, mi) = (idx / n_k, idx % n_k);
-            let (machine, train, _) = &splits[ei];
-            if plan.fit_failure(machine.0 as u64, mi as u64) {
-                None
-            } else {
-                Some(fit_model(kinds[mi], train))
-            }
+    // Same shared ingest fan-out as the classic prepare; injected
+    // failures become disabled items that skip the native fit entirely
+    // (the paper's estimator "fails" by decree) while keeping their
+    // slot in the index-aligned result.
+    let items: Vec<FitItem<'_>> = splits
+        .iter()
+        .flat_map(|(machine, train, _)| {
+            kinds.iter().enumerate().map(move |(mi, &kind)| {
+                if plan.fit_failure(machine.0 as u64, mi as u64) {
+                    FitItem::disabled(kind, train)
+                } else {
+                    FitItem::new(kind, train)
+                }
+            })
         })
         .collect();
+    let fits = fit_batch(&items);
 
     let mut experiments = Vec::with_capacity(splits.len());
     let mut fit_failures: Vec<FitFailureCount> = kinds

@@ -49,3 +49,48 @@ fn prepare_matches_ambient_pool() {
     assert_eq!(fits_ambient, fits_n);
     assert_eq!(report_ambient, report_n);
 }
+
+/// Frozen pre-refactor fit path: the serial per-machine loop the batch
+/// prepare ran before it was routed through `chs_sched::ingest`. The
+/// prepared fits must still reproduce this bitwise — the ingest
+/// refactor is a transport change, not a numeric one.
+#[test]
+fn prepare_matches_frozen_serial_fit_path() {
+    use chs_dist::fit::fit_model;
+    use chs_dist::ModelKind;
+
+    let train_len = 25usize;
+    let pool = generate_pool(&PoolConfig::small(16, 60, 9)).as_machine_pool();
+    let prepared = prepare_experiments_reported(&pool, train_len);
+
+    // Frozen path: split serially, fit each surviving machine's four
+    // families in PAPER_SET order with direct fit_model calls.
+    let mut frozen: Vec<Vec<chs_dist::FittedModel>> = Vec::new();
+    for trace in pool.traces() {
+        let Ok((train, test)) = trace.split(train_len) else {
+            continue;
+        };
+        if test.is_empty() {
+            continue;
+        }
+        let fits: Vec<_> = ModelKind::PAPER_SET
+            .iter()
+            .map(|&k| fit_model(k, &train))
+            .collect();
+        if fits.iter().all(Result::is_ok) {
+            frozen.push(fits.into_iter().map(Result::unwrap).collect());
+        }
+    }
+
+    assert_eq!(prepared.experiments.len(), frozen.len());
+    for (exp, frozen_fits) in prepared.experiments.iter().zip(&frozen) {
+        for (fit, frozen_fit) in exp.fits.iter().zip(frozen_fits) {
+            assert_eq!(
+                serde_json::to_string(&**fit).unwrap(),
+                serde_json::to_string(frozen_fit).unwrap(),
+                "machine {:?}: ingest-routed fit diverged from the frozen serial path",
+                exp.machine
+            );
+        }
+    }
+}
