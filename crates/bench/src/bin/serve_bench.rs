@@ -8,8 +8,12 @@
 //!
 //! Results are written to `BENCH_serve.json` (override with `--json`).
 //! The run is also a correctness gate and exits nonzero when any of
-//! three contracts is violated:
+//! four contracts is violated:
 //!
+//! * **publish throughput** — the build path must compress tables at a
+//!   floor rate (tables/sec); the lane-batched warm `T_opt` search is
+//!   what holds builds cheap, and a regression to scalar-probe cost
+//!   trips this gate;
 //! * **accuracy** — served (compressed, deduplicated) `T_opt` must stay
 //!   within the 1e-3 relative-error budget of each sampled machine's
 //!   own exact kernel optimum across a dense age grid including age 0;
@@ -132,10 +136,16 @@ struct FleetReport {
     observations_per_machine: usize,
     ingest_seconds: f64,
     publish_seconds: f64,
+    publish_seconds_per_table: f64,
+    tables_per_sec: f64,
+    tables_per_sec_floor: f64,
+    publish_pass: bool,
     store: StoreStats,
     segments_per_machine: f64,
     cache_hits: u64,
     cache_builds: u64,
+    cache_shared: u64,
+    cluster_rejects: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -195,17 +205,28 @@ fn build_fleet(args: &ServeArgs) -> (Scheduler, FleetReport) {
     let store = sched.publish().expect("publish");
     let publish_seconds = t1.elapsed().as_secs_f64();
     let stats = store.stats();
-    let (cache_hits, cache_builds) = sched.cache().counters();
+    let counters = sched.cache().counters();
+    // Build-path throughput gate: tables built per second of publish
+    // wall-clock. The lane-batched warm search is what holds this above
+    // the floor; a regression to scalar-per-probe build cost trips it.
+    let tables_per_sec = counters.builds as f64 / publish_seconds.max(1e-12);
+    let tables_per_sec_floor = 2_000.0;
     let report = FleetReport {
         machines: args.machines,
         unique_streams: (args.machines / 2).max(1),
         observations_per_machine: TRAIN_PER_MACHINE,
         ingest_seconds,
         publish_seconds,
+        publish_seconds_per_table: publish_seconds / counters.builds.max(1) as f64,
+        tables_per_sec,
+        tables_per_sec_floor,
+        publish_pass: tables_per_sec >= tables_per_sec_floor,
         segments_per_machine: stats.total_segments as f64 / stats.tables.max(1) as f64,
         store: stats,
-        cache_hits,
-        cache_builds,
+        cache_hits: counters.hits,
+        cache_builds: counters.builds,
+        cache_shared: counters.shared,
+        cluster_rejects: sched.cluster_rejects(),
     };
     (sched, report)
 }
@@ -353,12 +374,18 @@ fn main() {
     let (sched, fleet) = build_fleet(&args);
     eprintln!(
         "store: {} machines on {} tables ({:.1} segments/table, dedup {:.2}x), \
-         publish {:.2}s",
+         publish {:.2}s ({:.0} tables/sec, {:.0}us/table)",
         fleet.store.machines,
         fleet.store.tables,
         fleet.segments_per_machine,
         fleet.store.dedup_ratio,
-        fleet.publish_seconds
+        fleet.publish_seconds,
+        fleet.tables_per_sec,
+        fleet.publish_seconds_per_table * 1e6
+    );
+    eprintln!(
+        "cache: {} hits, {} builds, {} cluster-shared, {} cluster rejects",
+        fleet.cache_hits, fleet.cache_builds, fleet.cache_shared, fleet.cluster_rejects
     );
 
     eprintln!("measuring accuracy vs exact kernel T_opt ...");
@@ -416,6 +443,13 @@ fn main() {
     }
 
     let mut failed = false;
+    if !report.fleet.publish_pass {
+        eprintln!(
+            "FAIL: publish built {:.0} tables/sec, under the {:.0} floor",
+            report.fleet.tables_per_sec, report.fleet.tables_per_sec_floor
+        );
+        failed = true;
+    }
     if !report.accuracy.pass {
         eprintln!(
             "FAIL: served T_opt off by {:.3e} relative (budget {:.1e})",

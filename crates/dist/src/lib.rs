@@ -41,6 +41,8 @@ mod weibull;
 pub use conditional::FutureLifetime;
 pub use exponential::Exponential;
 pub use hyperexp::HyperExponential;
+#[cfg(feature = "bench-counters")]
+pub use kernel::counters;
 pub use kernel::{ConditionedDist, DistRef};
 pub use lognormal::{fit_lognormal, LogNormal};
 pub use model::{AvailabilityModel, FittedModel, ModelKind};

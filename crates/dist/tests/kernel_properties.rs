@@ -156,4 +156,58 @@ proptest! {
         prop_assert!(s2.to_bits() == s.to_bits());
         prop_assert!(tm2.to_bits() == tm.to_bits());
     }
+
+    #[test]
+    fn weibull_lane_kernel_bitwise(
+        shape in 0.25f64..3.0,
+        scale in 50.0f64..100_000.0,
+        age_log10 in -1.0f64..10.0,
+        x_exps in proptest::collection::vec(-1.0f64..6.5, 4..5),
+    ) {
+        // Four-probe lanes replicate the scalar operation order —
+        // including the batched Gauss–Legendre fallback the deep-tail
+        // ages force — so every lane is bit-identical to its scalar
+        // call.
+        let d = Weibull::new(shape, scale).unwrap();
+        let kernel = ConditionedDist::new(&d, 10f64.powf(age_log10));
+        let xs = [x_exps[0], x_exps[1], x_exps[2], x_exps[3]].map(|e| 10f64.powf(e));
+        let lanes = kernel.survival_and_truncated_mean_x4(xs);
+        for l in 0..4 {
+            let (s, tm) = kernel.survival_and_truncated_mean(xs[l]);
+            prop_assert!(lanes[l].0.to_bits() == s.to_bits(), "survival lane {l}");
+            prop_assert!(lanes[l].1.to_bits() == tm.to_bits(), "tm lane {l}");
+        }
+    }
+
+    #[test]
+    fn hyperexp_lane_kernel_contract(
+        fast_mean in 10.0f64..2_000.0,
+        slow_factor in 2.0f64..500.0,
+        p_fast in 0.05f64..0.95,
+        age_log10 in -1.0f64..10.0,
+        x_exps in proptest::collection::vec(-1.0f64..6.5, 4..5),
+    ) {
+        // The fused phase sweep keeps survival bitwise; the truncated
+        // mean inherits the survival integral's ≲1e-15 absolute
+        // deviation through its 1/F(a) conditioning, so the gated
+        // product is |Δtm|·F(a) — the quantity that re-enters Γ.
+        let d = HyperExponential::new(&[
+            (p_fast, 1.0 / fast_mean),
+            (1.0 - p_fast, 1.0 / (fast_mean * slow_factor)),
+        ])
+        .unwrap();
+        let kernel = ConditionedDist::new(&d, 10f64.powf(age_log10));
+        let xs = [x_exps[0], x_exps[1], x_exps[2], x_exps[3]].map(|e| 10f64.powf(e));
+        let lanes = kernel.survival_and_truncated_mean_x4(xs);
+        for l in 0..4 {
+            let (s, tm) = kernel.survival_and_truncated_mean(xs[l]);
+            prop_assert!(lanes[l].0.to_bits() == s.to_bits(), "survival lane {l}");
+            let fa = 1.0 - s;
+            prop_assert!(
+                (lanes[l].1 - tm).abs() * fa <= 1e-9 * (1.0 + tm.abs()),
+                "tm lane {l}: {:.17e} vs {tm:.17e}",
+                lanes[l].1
+            );
+        }
+    }
 }

@@ -40,8 +40,8 @@ mod vaidya;
 pub use predict::{predict_steady_state, SteadyStatePrediction};
 pub use schedule::{Schedule, ScheduleEntry};
 pub use store::{
-    mix64, CompressedPolicy, CompressionConfig, DedupKey, PolicyCache, PolicyStore, StoreStats,
-    DEFAULT_MAX_AGE, DEFAULT_MAX_REL_ERROR,
+    mix64, CacheCounters, ClusterKey, CompressedPolicy, CompressionConfig, DedupKey, PolicyCache,
+    PolicyStore, StoreStats, DEFAULT_CLUSTER_QUANTUM, DEFAULT_MAX_AGE, DEFAULT_MAX_REL_ERROR,
 };
 pub use vaidya::{CheckpointCosts, GammaAtAge, IntervalQuantities, OptimalInterval, VaidyaModel};
 

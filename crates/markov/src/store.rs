@@ -54,6 +54,31 @@ pub const DEFAULT_MAX_REL_ERROR: f64 = 1e-3;
 /// half-budget acceptance rule leaves under [`DEFAULT_MAX_REL_ERROR`].
 const LN_QUANTUM: f64 = 1e4;
 
+/// Default coarse clustering cell width in natural-log parameter space
+/// (see [`ClusterKey`]): fitted models whose parameters agree to ~5·10⁻⁴
+/// relative fall in the same candidate cell and may share one table —
+/// *after* a per-member verification against the cell's representative
+/// surface ([`CompressedPolicy::acceptable_for`]). `T_opt` moves O(δ)
+/// under a relative parameter perturbation δ, so a 5·10⁻⁴ cell keeps the
+/// candidate drift inside the acceptance threshold for typical fits
+/// while being 5× coarser than the exact [`DedupKey`] quantization.
+pub const DEFAULT_CLUSTER_QUANTUM: f64 = 5e-4;
+
+/// Fraction of [`CompressionConfig::max_rel_error`] a cluster member may
+/// deviate from the shared surface at the verification probes. The rest
+/// of the budget stays with the representative's own interpolation error
+/// (bounded by the half-budget acceptance rule at build time), so the
+/// end-to-end serving error of an accepted member remains under the full
+/// budget.
+const CLUSTER_ACCEPT_FRACTION: f64 = 0.4;
+
+/// Verification probes per candidate member: the representative table's
+/// knots are strided down to at most this many ages, and the member's
+/// exact `T_opt` is searched (warm-started from the shared surface) at
+/// each. Knots concentrate where the surface curves, so the stride
+/// inherits the builder's own refinement pattern.
+const CLUSTER_VERIFY_PROBES: usize = 16;
+
 /// Forced-refinement span in `ln(1+age)`: segments wider than this are
 /// always split even if the probe points happen to interpolate well,
 /// guarding against aliasing on the top-level brackets.
@@ -74,6 +99,9 @@ pub struct CompressionConfig {
     pub max_rel_error: f64,
     /// Bisection depth cap (2^depth segments worst case).
     pub max_depth: u32,
+    /// Coarse clustering cell width in ln-parameter space (see
+    /// [`ClusterKey`]); `0.0` disables clustering entirely.
+    pub cluster_quantum: f64,
 }
 
 impl CompressionConfig {
@@ -84,6 +112,7 @@ impl CompressionConfig {
             max_age: DEFAULT_MAX_AGE,
             max_rel_error: DEFAULT_MAX_REL_ERROR,
             max_depth: 14,
+            cluster_quantum: DEFAULT_CLUSTER_QUANTUM,
         }
     }
 
@@ -106,6 +135,12 @@ impl CompressionConfig {
                 value: 0.0,
             });
         }
+        if !(self.cluster_quantum.is_finite() && self.cluster_quantum >= 0.0) {
+            return Err(MarkovError::InvalidParameter {
+                parameter: "cluster_quantum",
+                value: self.cluster_quantum,
+            });
+        }
         Ok(())
     }
 }
@@ -126,7 +161,12 @@ impl CompressedPolicy {
     ///
     /// Memoryless models produce a single flat segment from one exact
     /// search; other families are bisected adaptively, warm-starting
-    /// each probe from the interpolated guess.
+    /// each probe from the interpolated guess. Hinted probes — every
+    /// subdivision midpoint and quarter point — run through the
+    /// lane-batched warm search
+    /// ([`VaidyaModel::optimal_interval_near_lane`]), which evaluates 4
+    /// Γ candidates per kernel pass; only the hintless anchor searches
+    /// take the scalar full-bracket path.
     ///
     /// # Errors
     /// Propagates optimizer failures and invalid configs.
@@ -138,11 +178,11 @@ impl CompressedPolicy {
             evals += 1;
             let age = v.exp_m1().max(0.0);
             let t = if hint.is_finite() && hint > 0.0 {
-                vaidya.optimal_interval_near(age, hint)?
+                vaidya.optimal_work_near_lane(age, hint)?
             } else {
-                vaidya.optimal_interval(age)?
+                vaidya.optimal_work_lane(age)?
             };
-            Ok(t.work_seconds.ln())
+            Ok(t.ln())
         };
 
         let v_hi = config.max_age.ln_1p();
@@ -155,7 +195,12 @@ impl CompressedPolicy {
             });
         }
 
-        let ln_t_hi = exact(v_hi, ln_t0.exp())?;
+        // The horizon anchor gets a cold search: the age-0 optimum is a
+        // poor hint across the whole horizon (DFR fits move T_opt by far
+        // more than the warm search's trust span), so hinting it would
+        // only spend lane batches walking to an escape before running
+        // the same full search anyway.
+        let ln_t_hi = exact(v_hi, f64::NAN)?;
         // |ln T̂ − ln T| ≤ ln(1 + ε/2) at every probe point keeps the
         // whole segment within ε with headroom for un-probed ages.
         let tol = (0.5 * config.max_rel_error).ln_1p();
@@ -164,6 +209,7 @@ impl CompressedPolicy {
         subdivide(
             (0.0, ln_t0),
             (v_hi, ln_t_hi),
+            None,
             0,
             config.max_depth,
             tol,
@@ -204,6 +250,51 @@ impl CompressedPolicy {
         self.build_evals
     }
 
+    /// Whether this table can serve `model` within the cluster-sharing
+    /// slice of the error budget — the per-cell acceptance rule of the
+    /// coarse parameter clustering.
+    ///
+    /// The check strides the table's knots down to at most
+    /// [`CLUSTER_VERIFY_PROBES`] ages, searches `model`'s exact `T_opt`
+    /// at each (warm-started from the shared surface — when the share is
+    /// good the hint is the answer, so verification costs a fraction of
+    /// a build), and rejects on the first probe whose deviation exceeds
+    /// [`CLUSTER_ACCEPT_FRACTION`]`·max_rel_error`. Knots concentrate
+    /// where the surface curves, so the stride covers exactly the ages
+    /// the builder found interesting; between knots the shared surface
+    /// adds only its own (half-budget-bounded) interpolation error on
+    /// top, keeping accepted members inside the full budget. The dense
+    /// cross-check lives in the cluster property tests and the
+    /// `serve_bench` fleet-accuracy gate.
+    ///
+    /// # Errors
+    /// Propagates optimizer failures.
+    pub fn acceptable_for(&self, model: &FittedModel, config: &CompressionConfig) -> Result<bool> {
+        let vaidya = VaidyaModel::new(model, config.costs)?;
+        let theta = (CLUSTER_ACCEPT_FRACTION * config.max_rel_error).ln_1p();
+        let last = self.vs.len() - 1;
+        let probes = CLUSTER_VERIFY_PROBES.min(last + 1);
+        let mut prev = usize::MAX;
+        for i in 0..probes {
+            let idx = if probes == 1 {
+                0
+            } else {
+                i * last / (probes - 1)
+            };
+            if idx == prev {
+                continue;
+            }
+            prev = idx;
+            let age = self.vs[idx].exp_m1().max(0.0);
+            let shared_ln_t = self.ln_ts[idx];
+            let exact = vaidya.optimal_work_near_lane(age, shared_ln_t.exp())?;
+            if (shared_ln_t - exact.ln()).abs() > theta {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
     /// Fold every knot bit into a running digest (order-sensitive).
     fn digest_into(&self, mut h: u64) -> u64 {
         h = mix64(h ^ self.vs.len() as u64);
@@ -217,10 +308,15 @@ impl CompressedPolicy {
 
 /// Recursive adaptive bisection of `[a, b]` in `(v, ln T)`. Appends
 /// every knot after `a` (including `b`) to `vs`/`ln_ts` in order.
+/// `known_mid` carries an already-searched value for this interval's
+/// midpoint: a parent whose quarter-point confirmation failed has
+/// evaluated both children's midpoints (its own quarter points), so the
+/// recursion reuses them instead of re-running the searches.
 #[allow(clippy::too_many_arguments)]
 fn subdivide(
     a: (f64, f64),
     b: (f64, f64),
+    known_mid: Option<f64>,
     depth: u32,
     max_depth: u32,
     tol: f64,
@@ -239,8 +335,12 @@ fn subdivide(
         return Ok(());
     }
     let v_m = 0.5 * (a.0 + b.0);
-    let ln_t_m = exact(v_m, interp(0.5).exp())?;
+    let ln_t_m = match known_mid {
+        Some(known) => known,
+        None => exact(v_m, interp(0.5).exp())?,
+    };
     let mid_ok = span <= MAX_SEGMENT_SPAN && (ln_t_m - interp(0.5)).abs() <= tol;
+    let mut quarters = (None, None);
     if mid_ok {
         // Midpoint fits the chord — confirm at the quarter points
         // before committing the whole segment.
@@ -250,10 +350,31 @@ fn subdivide(
             accept(vs, ln_ts);
             return Ok(());
         }
+        quarters = (Some(q1), Some(q3));
     }
     let m = (v_m, ln_t_m);
-    subdivide(a, m, depth + 1, max_depth, tol, exact, vs, ln_ts)?;
-    subdivide(m, b, depth + 1, max_depth, tol, exact, vs, ln_ts)
+    subdivide(
+        a,
+        m,
+        quarters.0,
+        depth + 1,
+        max_depth,
+        tol,
+        exact,
+        vs,
+        ln_ts,
+    )?;
+    subdivide(
+        m,
+        b,
+        quarters.1,
+        depth + 1,
+        max_depth,
+        tol,
+        exact,
+        vs,
+        ln_ts,
+    )
 }
 
 /// Identity of a compressed table: model family, parameters quantized
@@ -301,6 +422,52 @@ fn quantize_ln(p: f64) -> i64 {
     }
 }
 
+/// Coarse clustering cell of a fitted model: family tag plus parameters
+/// quantized to [`CompressionConfig::cluster_quantum`] in ln-space.
+///
+/// Unlike [`DedupKey`] — whose exact ~10⁻⁴ quantization shares a table
+/// *unconditionally* — a shared cluster cell is only a *candidate*: the
+/// first missing member of a cell becomes the representative whose
+/// table is built exactly, and every other member must pass
+/// [`CompressedPolicy::acceptable_for`] against that surface before
+/// serving from it (rejects fall back to a private build). That is what
+/// lets the cell be 5× coarser than the dedup grid without loosening
+/// the serving budget.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterKey {
+    tag: u8,
+    cell: Vec<i64>,
+}
+
+impl ClusterKey {
+    /// Cell of `model` under `config`, or `None` when clustering is
+    /// disabled (`cluster_quantum == 0`).
+    pub fn new(model: &FittedModel, config: &CompressionConfig) -> Option<Self> {
+        let quantum = config.cluster_quantum;
+        if !(quantum.is_finite() && quantum > 0.0) {
+            return None;
+        }
+        let (tag, params): (u8, Vec<f64>) = match model {
+            FittedModel::Exponential(_) => (0, vec![model.mean()]),
+            FittedModel::Weibull(w) => (1, vec![w.shape(), w.scale()]),
+            FittedModel::HyperExponential(h) => {
+                (2, h.weights().iter().chain(h.rates()).copied().collect())
+            }
+        };
+        let cell = params
+            .iter()
+            .map(|&p| {
+                if p.is_finite() && p > 0.0 {
+                    (p.ln() / quantum).round() as i64
+                } else {
+                    i64::MIN
+                }
+            })
+            .collect();
+        Some(ClusterKey { tag, cell })
+    }
+}
+
 /// Build-side cache: one [`CompressedPolicy`] per distinct [`DedupKey`],
 /// shared by `Arc` across every machine (and every epoch) that maps to
 /// it. Deterministic iteration order (`BTreeMap`) so rebuild statistics
@@ -311,6 +478,22 @@ pub struct PolicyCache {
     tables: BTreeMap<DedupKey, Arc<CompressedPolicy>>,
     hits: u64,
     builds: u64,
+    shared: u64,
+}
+
+/// Counters of one [`PolicyCache`]: how machines were resolved across
+/// its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CacheCounters {
+    /// Machines (or lookups) resolved from an already-cached table
+    /// without any build work.
+    pub hits: u64,
+    /// Exact table builds (cache misses that ran the full compression,
+    /// including cluster rejects that fell back to a private build).
+    pub builds: u64,
+    /// Keys resolved by *cluster sharing*: a verified alias onto another
+    /// key's table instead of a build.
+    pub shared: u64,
 }
 
 impl PolicyCache {
@@ -321,6 +504,7 @@ impl PolicyCache {
             tables: BTreeMap::new(),
             hits: 0,
             builds: 0,
+            shared: 0,
         }
     }
 
@@ -360,6 +544,25 @@ impl PolicyCache {
         Arc::clone(self.tables.entry(key).or_insert(table))
     }
 
+    /// Insert a *cluster-shared* alias: `key` serves from a table built
+    /// for another key in the same coarse cell (already verified via
+    /// [`CompressedPolicy::acceptable_for`]). Counted under `shared`,
+    /// not `builds` — no compression ran for this key.
+    pub fn insert_alias(
+        &mut self,
+        key: DedupKey,
+        table: Arc<CompressedPolicy>,
+    ) -> Arc<CompressedPolicy> {
+        self.shared += 1;
+        Arc::clone(self.tables.entry(key).or_insert(table))
+    }
+
+    /// Credit `n` machines resolved without build work this publish
+    /// (already-cached keys and extra machines behind a just-built key).
+    pub fn note_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
+
     /// Distinct tables cached so far.
     pub fn len(&self) -> usize {
         self.tables.len()
@@ -370,9 +573,13 @@ impl PolicyCache {
         self.tables.is_empty()
     }
 
-    /// `(cache hits, table builds)` counters.
-    pub fn counters(&self) -> (u64, u64) {
-        (self.hits, self.builds)
+    /// Lifetime resolution counters (hits / builds / cluster shares).
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits,
+            builds: self.builds,
+            shared: self.shared,
+        }
     }
 
     /// The compression geometry this cache builds under.
@@ -629,7 +836,8 @@ mod tests {
         let tb = cache.get_or_build(&b).unwrap();
         assert!(Arc::ptr_eq(&ta, &tb));
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.counters(), (1, 1));
+        let c = cache.counters();
+        assert_eq!((c.hits, c.builds, c.shared), (1, 1, 0));
     }
 
     #[test]

@@ -129,19 +129,84 @@ pub fn gauss_legendre_20<F: Fn(f64) -> f64>(f: F, a: f64, b: f64) -> f64 {
 }
 
 /// Composite Gauss–Legendre: split `[a, b]` into `panels` equal panels and
-/// apply [`gauss_legendre_20`] to each. Used when the integrand has a
+/// apply the 20-point rule to each. Used when the integrand has a
 /// sharp feature near the origin (heavy-tailed CDFs) but is otherwise
 /// smooth.
+///
+/// All panels share one width, so the scaled abscissa offsets
+/// `half · x_i` are computed once per call (not once per panel, and not
+/// re-derived from the raw `[-1, 1]` table on every panel as the
+/// original `gauss_legendre_20`-per-panel formulation did).
 pub fn composite_gauss_legendre<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, panels: usize) -> f64 {
     assert!(
         panels > 0,
         "composite quadrature requires at least one panel"
     );
     let h = (b - a) / panels as f64;
+    let half = 0.5 * h;
+    let dx = GL20_X.map(|x| half * x);
     let mut acc = 0.0;
-    for i in 0..panels {
-        let lo = a + i as f64 * h;
-        acc += gauss_legendre_20(&f, lo, lo + h);
+    for p in 0..panels {
+        let mid = a + (p as f64 + 0.5) * h;
+        let mut pacc = 0.0;
+        for i in 0..10 {
+            pacc += GL20_W[i] * (f(mid + dx[i]) + f(mid - dx[i]));
+        }
+        acc += pacc * half;
+    }
+    acc
+}
+
+/// Lane-batched [`composite_gauss_legendre`]: one shared lower bound,
+/// four upper bounds, one integrand evaluated on `[f64; 4]` points at a
+/// time.
+///
+/// Each lane gets its own panel width `h_l = (upper_l − a) / panels`,
+/// and the per-lane arithmetic (panel midpoint, scaled offsets, the
+/// `Σ w_i (f(mid+dx_i) + f(mid−dx_i))` accumulation, the `· half`
+/// scaling) follows the scalar composite's operation order exactly — a
+/// lane's result is bit-identical to the scalar call with the same
+/// bounds whenever `f` is (which lets the Weibull quadrature fallback
+/// integrate all four probe horizons in one sweep without perturbing
+/// the frozen scalar reference). A degenerate lane (`upper_l == a`)
+/// integrates to exactly 0, as the scalar does.
+pub fn composite_gauss_legendre_x4<F: FnMut([f64; 4]) -> [f64; 4]>(
+    mut f: F,
+    a: f64,
+    uppers: [f64; 4],
+    panels: usize,
+) -> [f64; 4] {
+    assert!(
+        panels > 0,
+        "composite quadrature requires at least one panel"
+    );
+    let h = uppers.map(|u| (u - a) / panels as f64);
+    let half = h.map(|hl| 0.5 * hl);
+    let dx: [[f64; 4]; 10] = GL20_X.map(|x| half.map(|hl| hl * x));
+    let mut acc = [0.0f64; 4];
+    for p in 0..panels {
+        let mid = h.map(|hl| a + (p as f64 + 0.5) * hl);
+        let mut pacc = [0.0f64; 4];
+        for i in 0..10 {
+            let hi = f([
+                mid[0] + dx[i][0],
+                mid[1] + dx[i][1],
+                mid[2] + dx[i][2],
+                mid[3] + dx[i][3],
+            ]);
+            let lo = f([
+                mid[0] - dx[i][0],
+                mid[1] - dx[i][1],
+                mid[2] - dx[i][2],
+                mid[3] - dx[i][3],
+            ]);
+            for l in 0..4 {
+                pacc[l] += GL20_W[i] * (hi[l] + lo[l]);
+            }
+        }
+        for l in 0..4 {
+            acc[l] += pacc[l] * half[l];
+        }
     }
     acc
 }
@@ -236,6 +301,33 @@ mod tests {
     #[should_panic(expected = "at least one panel")]
     fn composite_zero_panels_panics() {
         composite_gauss_legendre(|x| x, 0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn composite_x4_bitwise_matches_scalar_lanes() {
+        let g = |x: f64| (1.0 + x).ln() * (-0.3 * x).exp();
+        let uppers = [0.5, 3.0, 20.0, 150.0];
+        let lanes = composite_gauss_legendre_x4(|xs| xs.map(g), 0.0, uppers, 32);
+        for l in 0..4 {
+            let scalar = composite_gauss_legendre(g, 0.0, uppers[l], 32);
+            assert_eq!(lanes[l].to_bits(), scalar.to_bits(), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn composite_x4_degenerate_lane_is_zero() {
+        let lanes =
+            composite_gauss_legendre_x4(|xs| xs.map(|x| x * x), 2.0, [2.0, 2.0, 4.0, 8.0], 8);
+        assert_eq!(lanes[0], 0.0);
+        assert_eq!(lanes[1], 0.0);
+        let s2 = composite_gauss_legendre(|x| x * x, 2.0, 4.0, 8);
+        assert_eq!(lanes[2].to_bits(), s2.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one panel")]
+    fn composite_x4_zero_panels_panics() {
+        composite_gauss_legendre_x4(|xs| xs, 0.0, [1.0; 4], 0);
     }
 
     #[test]

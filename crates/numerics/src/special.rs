@@ -152,9 +152,146 @@ pub fn reg_inc_gamma_q(a: f64, x: f64) -> Result<f64> {
     }
 }
 
+/// Regularized lower incomplete gamma `P(a, x)` with a caller-supplied
+/// `gln = ln Γ(a)`.
+///
+/// The kernel layer evaluates `P(a, ·)` at many points for one fixed
+/// order `a`; recomputing the Lanczos `ln Γ(a)` inside every call is
+/// ~40% of the series cost. Passing the identical `gln` value makes the
+/// result bit-identical to [`reg_inc_gamma_p`] (same arithmetic on the
+/// same operands, in the same order).
+pub fn reg_inc_gamma_p_gln(a: f64, x: f64, gln: f64) -> Result<f64> {
+    if a <= 0.0 || x < 0.0 || !a.is_finite() || !x.is_finite() {
+        return Err(NumericsError::DomainError {
+            routine: "reg_inc_gamma_p",
+            message: "requires a > 0, x >= 0",
+        });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x < a + 1.0 {
+        gamma_series_gln(a, x, gln)
+    } else {
+        Ok(1.0 - gamma_cf_gln(a, x, gln)?)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x)` with a caller-supplied
+/// `gln = ln Γ(a)`; bit-identical to [`reg_inc_gamma_q`] when `gln`
+/// equals `ln_gamma(a)`.
+pub fn reg_inc_gamma_q_gln(a: f64, x: f64, gln: f64) -> Result<f64> {
+    if a <= 0.0 || x < 0.0 || !a.is_finite() || !x.is_finite() {
+        return Err(NumericsError::DomainError {
+            routine: "reg_inc_gamma_q",
+            message: "requires a > 0, x >= 0",
+        });
+    }
+    if x == 0.0 {
+        return Ok(1.0);
+    }
+    if x < a + 1.0 {
+        Ok(1.0 - gamma_series_gln(a, x, gln)?)
+    } else {
+        gamma_cf_gln(a, x, gln)
+    }
+}
+
+/// Lane-batched `P(a, x_l)`: four evaluation points, one shared order
+/// `a` and one shared `gln = ln Γ(a)`.
+///
+/// Each lane takes exactly the branch the scalar dispatch would take
+/// (series for `x < a + 1`, continued fraction otherwise) and runs the
+/// scalar iteration on its own variables in lockstep with the other
+/// lanes of the same branch — converged lanes freeze, so every lane
+/// stops with bit-identical state to its scalar run. Lanes that fail
+/// (domain, non-convergence) return `None`, mirroring the `.ok()`
+/// handling every kernel call site applies.
+pub fn reg_inc_gamma_p_x4(a: f64, x: [f64; 4], gln: f64) -> [Option<f64>; 4] {
+    if a <= 0.0 || !a.is_finite() {
+        return [None; 4];
+    }
+    let mut out = [None; 4];
+    let mut series_active = [false; 4];
+    let mut cf_active = [false; 4];
+    for l in 0..4 {
+        if x[l] < 0.0 || !x[l].is_finite() {
+            continue;
+        }
+        if x[l] == 0.0 {
+            out[l] = Some(0.0);
+        } else if x[l] < a + 1.0 {
+            series_active[l] = true;
+        } else {
+            cf_active[l] = true;
+        }
+    }
+    if series_active.iter().any(|&b| b) {
+        let series = gamma_series_x4(a, x, gln, series_active);
+        for l in 0..4 {
+            if series_active[l] {
+                out[l] = series[l];
+            }
+        }
+    }
+    if cf_active.iter().any(|&b| b) {
+        let cf = gamma_cf_x4(a, x, gln, cf_active);
+        for l in 0..4 {
+            if cf_active[l] {
+                out[l] = cf[l].map(|q| 1.0 - q);
+            }
+        }
+    }
+    out
+}
+
+/// Lane-batched `Q(a, x_l)`; see [`reg_inc_gamma_p_x4`].
+pub fn reg_inc_gamma_q_x4(a: f64, x: [f64; 4], gln: f64) -> [Option<f64>; 4] {
+    if a <= 0.0 || !a.is_finite() {
+        return [None; 4];
+    }
+    let mut out = [None; 4];
+    let mut series_active = [false; 4];
+    let mut cf_active = [false; 4];
+    for l in 0..4 {
+        if x[l] < 0.0 || !x[l].is_finite() {
+            continue;
+        }
+        if x[l] == 0.0 {
+            out[l] = Some(1.0);
+        } else if x[l] < a + 1.0 {
+            series_active[l] = true;
+        } else {
+            cf_active[l] = true;
+        }
+    }
+    if series_active.iter().any(|&b| b) {
+        let series = gamma_series_x4(a, x, gln, series_active);
+        for l in 0..4 {
+            if series_active[l] {
+                out[l] = series[l].map(|p| 1.0 - p);
+            }
+        }
+    }
+    if cf_active.iter().any(|&b| b) {
+        let cf = gamma_cf_x4(a, x, gln, cf_active);
+        for l in 0..4 {
+            if cf_active[l] {
+                out[l] = cf[l];
+            }
+        }
+    }
+    out
+}
+
 /// Series representation of `P(a, x)`, convergent for `x < a + 1`.
 fn gamma_series(a: f64, x: f64) -> Result<f64> {
     let gln = ln_gamma(a)?;
+    gamma_series_gln(a, x, gln)
+}
+
+/// [`gamma_series`] with the `ln Γ(a)` hoisted to the caller.
+fn gamma_series_gln(a: f64, x: f64, gln: f64) -> Result<f64> {
     let mut ap = a;
     let mut sum = 1.0 / a;
     let mut del = sum;
@@ -172,10 +309,97 @@ fn gamma_series(a: f64, x: f64) -> Result<f64> {
     })
 }
 
+/// Lane-lockstep [`gamma_series_gln`]: four independent series chains
+/// advanced together (the `sum += del` recurrence is latency-bound, so
+/// interleaving four chains hides most of the mul/div latency). Each
+/// lane performs exactly the scalar operation sequence on its own
+/// variables and freezes at its own convergence point — the outputs are
+/// bit-identical to four scalar calls.
+fn gamma_series_x4(a: f64, x: [f64; 4], gln: f64, active: [bool; 4]) -> [Option<f64>; 4] {
+    let mut ap = a;
+    let mut sum = [1.0 / a; 4];
+    let mut del = sum;
+    let mut done = [false; 4];
+    for l in 0..4 {
+        done[l] = !active[l];
+    }
+    let mut out = [None; 4];
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        for l in 0..4 {
+            if done[l] {
+                continue;
+            }
+            del[l] *= x[l] / ap;
+            sum[l] += del[l];
+            if del[l].abs() < sum[l].abs() * EPS {
+                done[l] = true;
+                out[l] = Some(sum[l] * (-x[l] + a * x[l].ln() - gln).exp());
+            }
+        }
+        if done == [true; 4] {
+            return out;
+        }
+    }
+    out
+}
+
+/// Lane-lockstep [`gamma_cf_gln`] (modified Lentz, four chains). Same
+/// freeze-at-own-convergence contract as [`gamma_series_x4`].
+fn gamma_cf_x4(a: f64, x: [f64; 4], gln: f64, active: [bool; 4]) -> [Option<f64>; 4] {
+    let mut b = [0.0f64; 4];
+    let mut c = [1.0 / FPMIN; 4];
+    let mut d = [0.0f64; 4];
+    let mut h = [0.0f64; 4];
+    let mut done = [false; 4];
+    for l in 0..4 {
+        done[l] = !active[l];
+        if active[l] {
+            b[l] = x[l] + 1.0 - a;
+            d[l] = 1.0 / b[l];
+            h[l] = d[l];
+        }
+    }
+    let mut out = [None; 4];
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        for l in 0..4 {
+            if done[l] {
+                continue;
+            }
+            b[l] += 2.0;
+            d[l] = an * d[l] + b[l];
+            if d[l].abs() < FPMIN {
+                d[l] = FPMIN;
+            }
+            c[l] = b[l] + an / c[l];
+            if c[l].abs() < FPMIN {
+                c[l] = FPMIN;
+            }
+            d[l] = 1.0 / d[l];
+            let del = d[l] * c[l];
+            h[l] *= del;
+            if (del - 1.0).abs() < EPS {
+                done[l] = true;
+                out[l] = Some((-x[l] + a * x[l].ln() - gln).exp() * h[l]);
+            }
+        }
+        if done == [true; 4] {
+            return out;
+        }
+    }
+    out
+}
+
 /// Continued-fraction representation of `Q(a, x)`, convergent for
 /// `x ≥ a + 1` (modified Lentz).
 fn gamma_cf(a: f64, x: f64) -> Result<f64> {
     let gln = ln_gamma(a)?;
+    gamma_cf_gln(a, x, gln)
+}
+
+/// [`gamma_cf`] with the `ln Γ(a)` hoisted to the caller.
+fn gamma_cf_gln(a: f64, x: f64, gln: f64) -> Result<f64> {
     let mut b = x + 1.0 - a;
     let mut c = 1.0 / FPMIN;
     let mut d = 1.0 / b;
@@ -392,6 +616,69 @@ mod tests {
                 assert!(approx_eq(p + q, 1.0, 1e-12, 1e-12), "a={a} x={x}");
             }
         }
+    }
+
+    #[test]
+    fn inc_gamma_gln_variants_bitwise() {
+        for &a in &[0.3, 0.5, 1.0, 1.9, 2.5, 10.0] {
+            let gln = ln_gamma(a).unwrap();
+            for &x in &[0.0, 0.01, 0.5, 1.0, 3.0, 10.0, 60.0, 300.0] {
+                let p = reg_inc_gamma_p(a, x).unwrap();
+                let q = reg_inc_gamma_q(a, x).unwrap();
+                assert_eq!(
+                    reg_inc_gamma_p_gln(a, x, gln).unwrap().to_bits(),
+                    p.to_bits(),
+                    "P a={a} x={x}"
+                );
+                assert_eq!(
+                    reg_inc_gamma_q_gln(a, x, gln).unwrap().to_bits(),
+                    q.to_bits(),
+                    "Q a={a} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inc_gamma_x4_bitwise_matches_scalar() {
+        // Batches straddling the series/CF boundary, zero lanes, and
+        // bad lanes — each live lane must be bit-identical to its
+        // scalar evaluation.
+        for &a in &[0.45, 1.0, 1.9, 7.3] {
+            let gln = ln_gamma(a).unwrap();
+            let batches = [
+                [0.0, 0.3, a + 0.5, a + 40.0],
+                [1e-6, a + 0.99, a + 1.01, 700.0],
+                [0.2, 0.4, 0.6, 0.8],
+                [a + 2.0, a + 20.0, a + 200.0, f64::NAN],
+            ];
+            for x in batches {
+                let p4 = reg_inc_gamma_p_x4(a, x, gln);
+                let q4 = reg_inc_gamma_q_x4(a, x, gln);
+                for l in 0..4 {
+                    let p = reg_inc_gamma_p(a, x[l]).ok();
+                    let q = reg_inc_gamma_q(a, x[l]).ok();
+                    assert_eq!(
+                        p4[l].map(f64::to_bits),
+                        p.map(f64::to_bits),
+                        "P a={a} x={:?} lane {l}",
+                        x
+                    );
+                    assert_eq!(
+                        q4[l].map(f64::to_bits),
+                        q.map(f64::to_bits),
+                        "Q a={a} x={:?} lane {l}",
+                        x
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inc_gamma_x4_rejects_bad_order() {
+        assert_eq!(reg_inc_gamma_p_x4(-1.0, [1.0; 4], 0.0), [None; 4]);
+        assert_eq!(reg_inc_gamma_q_x4(f64::NAN, [1.0; 4], 0.0), [None; 4]);
     }
 
     #[test]

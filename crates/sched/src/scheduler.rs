@@ -5,7 +5,9 @@ use std::sync::Arc;
 
 use chs_dist::fit::{RefitTrigger, StreamingFit, StreamingFitConfig};
 use chs_dist::FittedModel;
-use chs_markov::{mix64, CompressedPolicy, CompressionConfig, DedupKey, PolicyCache, PolicyStore};
+use chs_markov::{
+    mix64, ClusterKey, CompressedPolicy, CompressionConfig, DedupKey, PolicyCache, PolicyStore,
+};
 use rayon::prelude::*;
 use serde::Serialize;
 
@@ -107,6 +109,7 @@ pub struct Scheduler {
     ingested: u64,
     refits: u64,
     regime_shifts: u64,
+    cluster_rejects: u64,
 }
 
 impl Scheduler {
@@ -131,6 +134,7 @@ impl Scheduler {
             ingested: 0,
             refits: 0,
             regime_shifts: 0,
+            cluster_rejects: 0,
         })
     }
 
@@ -165,10 +169,15 @@ impl Scheduler {
     /// store epoch. Machines still warming up (no installed fit) are
     /// absent from the epoch and their queries return `None`.
     ///
-    /// Distinct new tables build in one order-preserving parallel
-    /// fan-out; machines whose fitted parameters hit the dedup cache
-    /// share the existing `Arc`. The assembled store is bitwise
-    /// identical for any thread count.
+    /// New tables build in three order-preserving deterministic waves:
+    /// first every cluster-cell representative (and unclustered key)
+    /// compresses in parallel; then the remaining cell members verify
+    /// against their representative's surface in parallel, serving from
+    /// it when the per-cell error bound holds and falling back to a
+    /// private build otherwise; finally everything is inserted in
+    /// first-reference order. Machines whose fitted parameters hit the
+    /// dedup cache share the existing `Arc` without any build. The
+    /// assembled store is bitwise identical for any thread count.
     ///
     /// # Errors
     /// Propagates compression failures; the previous epoch stays
@@ -191,18 +200,88 @@ impl Scheduler {
             }
         }
         let compression = self.config.compression;
-        let built: Vec<chs_markov::Result<CompressedPolicy>> = (0..missing.len())
-            .into_par_iter()
-            .map(|i| CompressedPolicy::build(missing[i].1, &compression))
-            .collect();
-        let inserts: Vec<(DedupKey, Arc<CompressedPolicy>)> = missing
-            .iter()
-            .zip(built)
-            .map(|((key, _), table)| Ok(((*key).clone(), Arc::new(table?))))
-            .collect::<Result<_>>()?;
-        for (key, table) in inserts {
-            self.cache.insert(key, table);
+
+        // Coarse parameter cells over the missing keys; the first
+        // missing member of a cell (first-reference order) is its
+        // representative, every later member only a sharing candidate.
+        let mut rep_of_cell: BTreeMap<ClusterKey, usize> = BTreeMap::new();
+        let mut member_of: Vec<Option<usize>> = Vec::with_capacity(missing.len());
+        for (i, (_, model)) in missing.iter().enumerate() {
+            member_of.push(match ClusterKey::new(model, &compression) {
+                Some(cell) => match rep_of_cell.entry(cell) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(i);
+                        None
+                    }
+                    std::collections::btree_map::Entry::Occupied(e) => Some(*e.get()),
+                },
+                None => None,
+            });
         }
+
+        // Wave 1: representatives and unclustered keys build exactly.
+        let rep_tables: Vec<Option<Arc<CompressedPolicy>>> = (0..missing.len())
+            .into_par_iter()
+            .map(|i| {
+                member_of[i]
+                    .is_none()
+                    .then(|| CompressedPolicy::build(missing[i].1, &compression).map(Arc::new))
+                    .transpose()
+            })
+            .collect::<chs_markov::Result<_>>()?;
+
+        // Wave 2: members verify against their cell's shared surface;
+        // rejects fall back to a private build.
+        enum Resolved {
+            Shared(Arc<CompressedPolicy>),
+            Private(Arc<CompressedPolicy>),
+        }
+        let member_tables: Vec<Option<Resolved>> = (0..missing.len())
+            .into_par_iter()
+            .map(|i| {
+                member_of[i]
+                    .map(|rep| {
+                        let surface = rep_tables[rep].as_ref().expect("rep built in wave 1");
+                        if surface.acceptable_for(missing[i].1, &compression)? {
+                            Ok(Resolved::Shared(Arc::clone(surface)))
+                        } else {
+                            let private = CompressedPolicy::build(missing[i].1, &compression)?;
+                            Ok(Resolved::Private(Arc::new(private)))
+                        }
+                    })
+                    .transpose()
+            })
+            .collect::<chs_markov::Result<_>>()?;
+
+        // Wave 3: sequential inserts in first-reference order.
+        let mut builds_this_publish = 0u64;
+        for (i, ((key, _), (rep, member))) in missing
+            .iter()
+            .zip(rep_tables.into_iter().zip(member_tables))
+            .enumerate()
+        {
+            debug_assert_eq!(rep.is_some(), member_of[i].is_none());
+            match (rep, member) {
+                (Some(table), _) => {
+                    self.cache.insert((*key).clone(), table);
+                    builds_this_publish += 1;
+                }
+                (None, Some(Resolved::Shared(table))) => {
+                    self.cache.insert_alias((*key).clone(), table);
+                }
+                (None, Some(Resolved::Private(table))) => {
+                    self.cache.insert((*key).clone(), table);
+                    self.cluster_rejects += 1;
+                    builds_this_publish += 1;
+                }
+                (None, None) => unreachable!("every missing key resolves in wave 1 or 2"),
+            }
+        }
+        // Every fitted machine not behind one of this publish's builds
+        // was resolved from cache or sharing: count it as a hit so the
+        // hits/builds counters describe machines, not just lookups.
+        self.cache
+            .note_hits(fitted.len() as u64 - builds_this_publish);
 
         let entries: Vec<(u64, Arc<CompressedPolicy>)> = fitted
             .iter()
@@ -302,6 +381,13 @@ impl Scheduler {
     /// Change-point triggered refits across all machines.
     pub fn regime_shifts(&self) -> u64 {
         self.regime_shifts
+    }
+
+    /// Cluster-sharing candidates that failed the per-cell bound check
+    /// and fell back to a private build, across all publishes. The
+    /// accepted counterpart is [`PolicyCache::counters`]' `shared`.
+    pub fn cluster_rejects(&self) -> u64 {
+        self.cluster_rejects
     }
 
     /// The shared compression cache (dedup statistics live here).
