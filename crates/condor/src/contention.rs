@@ -148,10 +148,16 @@ impl ContentionResult {
     }
 
     /// Stretch factor: mean transfer duration relative to the uncontended
-    /// duration of one image.
+    /// duration of one image. Returns 0 (never NaN or ∞) when the nominal
+    /// duration is degenerate — e.g. a zero-byte image or an unvalidated
+    /// zero-bandwidth config.
     pub fn stretch(&self, config: &ContentionConfig) -> f64 {
         let nominal = config.image_mb / config.link_mb_per_s;
-        self.mean_transfer_seconds / nominal
+        if nominal.is_finite() && nominal > 0.0 {
+            self.mean_transfer_seconds / nominal
+        } else {
+            0.0
+        }
     }
 }
 
@@ -421,6 +427,31 @@ mod tests {
         c.retry.timeout_factor = f64::NAN;
         assert!(c.validate().is_err());
         assert!(small(2, ModelKind::Exponential).validate().is_ok());
+    }
+
+    #[test]
+    fn ratio_accessors_never_return_nan_or_inf() {
+        let r = ContentionResult {
+            model: ModelKind::Exponential,
+            jobs: 0,
+            useful_seconds: 0.0,
+            occupied_seconds: 0.0,
+            megabytes: 0.0,
+            checkpoints_committed: 0,
+            transfers_started: 0,
+            mean_transfer_seconds: 0.0,
+            mean_link_concurrency: 0.0,
+            link_utilization: 0.0,
+            cycle: Default::default(),
+        };
+        assert_eq!(r.efficiency(), 0.0);
+        let mut cfg = small(1, ModelKind::Exponential);
+        cfg.image_mb = 0.0; // degenerate nominal duration
+        assert_eq!(r.stretch(&cfg), 0.0);
+        cfg.image_mb = 100.0;
+        cfg.link_mb_per_s = 0.0; // nominal would be ∞
+        assert_eq!(r.stretch(&cfg), 0.0);
+        assert!(r.efficiency().is_finite() && r.stretch(&cfg).is_finite());
     }
 
     #[test]

@@ -600,7 +600,8 @@ pub struct StoreStats {
     pub total_segments: usize,
     /// Largest single table, in segments.
     pub max_segments: usize,
-    /// `machines / tables` (1.0 when nothing dedups).
+    /// `machines / tables` (1.0 when nothing dedups, 0.0 for an empty
+    /// snapshot — never NaN).
     pub dedup_ratio: f64,
 }
 
@@ -700,8 +701,11 @@ impl PolicyStore {
             tables: self.tables.len(),
             total_segments,
             max_segments,
+            // An empty snapshot reports 0, not 1: "nothing dedups" and
+            // "nothing exists" must stay distinguishable to dashboards
+            // that alert on the ratio collapsing toward 1.
             dedup_ratio: if self.tables.is_empty() {
-                1.0
+                0.0
             } else {
                 self.machines.len() as f64 / self.tables.len() as f64
             },
@@ -838,6 +842,15 @@ mod tests {
         assert_eq!(cache.len(), 1);
         let c = cache.counters();
         assert_eq!((c.hits, c.builds, c.shared), (1, 1, 0));
+    }
+
+    #[test]
+    fn empty_store_stats_are_finite_zeros() {
+        let stats = PolicyStore::empty(3).stats();
+        assert_eq!(stats.machines, 0);
+        assert_eq!(stats.tables, 0);
+        assert_eq!(stats.dedup_ratio, 0.0, "empty must not report 1.0");
+        assert!(stats.dedup_ratio.is_finite());
     }
 
     #[test]

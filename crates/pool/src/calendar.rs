@@ -1,0 +1,352 @@
+//! A bucketed calendar queue for time-keyed simulation events.
+//!
+//! The classic structure (Brown 1988): a ring of buckets, each `width`
+//! seconds of virtual time wide, holding *unsorted* events. Popping
+//! scans the cursor bucket for the earliest event belonging to the
+//! cursor's current lap and advances the cursor when the bucket has
+//! none; with the width chosen so a bucket holds O(1) live events, both
+//! insert and pop are O(1) amortized. Events far in the future wrap
+//! around the ring and are skipped (lap check) until their lap comes up.
+//!
+//! Determinism: events are ordered by the **total** key
+//! `(time, kind priority, machine, aux)`. No two distinct events compare
+//! equal, so the pop sequence is a pure function of the *set* of events,
+//! never of insertion order — the property the pool's
+//! shuffled-insertion replay gate relies on.
+//!
+//! Cancellation is the caller's problem by design: the pool engine
+//! invalidates superseded events with per-machine generation counters
+//! and discards them on pop, which keeps this structure append-only.
+
+/// What a calendar event means to the pool engine. Priorities at equal
+/// times: segment end (eviction) < work end < placement, and transfer
+/// completions — which live in the fabric, not here — beat all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The availability segment ends: the owner reclaims the machine.
+    SegEnd {
+        /// Segment index this eviction belongs to.
+        seg: u32,
+    },
+    /// The planned work interval ends: start the checkpoint transfer.
+    WorkEnd {
+        /// Work epoch this boundary belongs to (stale epochs are no-ops).
+        epoch: u32,
+    },
+    /// The machine's next availability segment begins.
+    Place {
+        /// Segment index being placed.
+        seg: u32,
+    },
+}
+
+impl EventKind {
+    fn priority(self) -> u8 {
+        match self {
+            EventKind::SegEnd { .. } => 1,
+            EventKind::WorkEnd { .. } => 2,
+            EventKind::Place { .. } => 3,
+        }
+    }
+
+    fn aux(self) -> u32 {
+        match self {
+            EventKind::SegEnd { seg } | EventKind::Place { seg } => seg,
+            EventKind::WorkEnd { epoch } => epoch,
+        }
+    }
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Absolute virtual time, seconds.
+    pub time: f64,
+    /// Meaning and staleness guard.
+    pub kind: EventKind,
+    /// Machine id.
+    pub machine: u32,
+}
+
+impl Event {
+    /// The total ordering key: time, then kind priority, then machine,
+    /// then the kind's payload. Distinct events never tie. (Transfer
+    /// completions, which live in the fabric, compare as priority 0 —
+    /// they beat any calendar event at the same instant.)
+    pub fn key(&self) -> (u64, u8, u32, u32) {
+        // Times are non-negative finite, so the IEEE bit pattern orders
+        // like the value and gives a total order with no NaN caveats.
+        (
+            self.time.to_bits(),
+            self.kind.priority(),
+            self.machine,
+            self.kind.aux(),
+        )
+    }
+}
+
+/// The calendar queue.
+#[derive(Debug)]
+pub struct CalendarQueue {
+    buckets: Vec<Vec<Event>>,
+    /// Seconds of virtual time per bucket.
+    width: f64,
+    /// `buckets.len()`, a power of two.
+    mask: usize,
+    /// Lap-qualified cursor: the bucket index is `cursor & mask`, the
+    /// lap is `cursor / buckets.len()`; an event in the cursor bucket is
+    /// due when `floor(time / width) == cursor`.
+    cursor: u64,
+    len: usize,
+}
+
+impl CalendarQueue {
+    /// A queue sized for roughly `expected_events` concurrently
+    /// outstanding events spread over windows of `horizon` seconds.
+    pub fn new(expected_events: usize, horizon: f64) -> Self {
+        let n = expected_events.clamp(64, 1 << 20).next_power_of_two();
+        let horizon = if horizon.is_finite() && horizon > 0.0 {
+            horizon
+        } else {
+            1.0
+        };
+        // One bucket per expected event across the horizon keeps bucket
+        // occupancy O(1); the floor keeps the lap arithmetic sane.
+        let width = (horizon / n as f64).max(1e-6);
+        CalendarQueue {
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            width,
+            mask: n - 1,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of events currently stored (including stale ones the
+    /// caller has logically cancelled).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue holds no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn lap_of(&self, time: f64) -> u64 {
+        (time / self.width) as u64
+    }
+
+    /// Insert an event. The cursor is only a "no events before this
+    /// lap" hint: a peek may legitimately advance it past empty laps and
+    /// then lose the race to a fabric completion, after which the engine
+    /// schedules follow-up events at the earlier completion time — so a
+    /// push behind the cursor rewinds it rather than being an error.
+    pub fn push(&mut self, event: Event) {
+        debug_assert!(
+            event.time.is_finite() && event.time >= 0.0,
+            "event time must be finite and non-negative"
+        );
+        let lap = self.lap_of(event.time);
+        if lap < self.cursor {
+            self.cursor = lap;
+        }
+        self.buckets[(lap as usize) & self.mask].push(event);
+        self.len += 1;
+    }
+
+    /// The earliest event's ordering key, without removing it.
+    pub fn peek(&mut self) -> Option<Event> {
+        self.locate()
+            .map(|(bucket, slot)| self.buckets[bucket][slot])
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        let (bucket, slot) = self.locate()?;
+        let event = self.buckets[bucket].swap_remove(slot);
+        self.len -= 1;
+        Some(event)
+    }
+
+    /// Find the earliest event, advancing the cursor over empty laps.
+    /// Returns `(bucket index, slot)`.
+    fn locate(&mut self) -> Option<(usize, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len() as u64;
+        loop {
+            // Scan at most one full ring revolution from the cursor; if
+            // every live event is further than one lap away (a sparse
+            // queue), fall back to a direct minimum scan and jump.
+            for _ in 0..n {
+                let bucket = (self.cursor as usize) & self.mask;
+                if let Some(slot) = self.due_in(bucket, self.cursor) {
+                    return Some((bucket, slot));
+                }
+                self.cursor += 1;
+            }
+            let earliest_lap = self
+                .buckets
+                .iter()
+                .flatten()
+                .map(|e| self.lap_of(e.time))
+                .min()
+                .expect("len > 0");
+            debug_assert!(earliest_lap >= self.cursor);
+            self.cursor = earliest_lap;
+        }
+    }
+
+    /// The slot of the minimal due event in `bucket` for `lap`, if any.
+    fn due_in(&self, bucket: usize, lap: u64) -> Option<usize> {
+        let mut best: Option<(usize, (u64, u8, u32, u32))> = None;
+        for (slot, event) in self.buckets[bucket].iter().enumerate() {
+            if self.lap_of(event.time) != lap {
+                continue;
+            }
+            let key = event.key();
+            if best.is_none_or(|(_, k)| key < k) {
+                best = Some((slot, key));
+            }
+        }
+        best.map(|(slot, _)| slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: f64, machine: u32) -> Event {
+        Event {
+            time,
+            kind: EventKind::Place { seg: 0 },
+            machine,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new(16, 100.0);
+        for &t in &[50.0, 3.0, 99.0, 0.5, 42.0, 42.5] {
+            q.push(ev(t, (t * 10.0) as u32));
+        }
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e.time);
+        }
+        assert_eq!(out, vec![0.5, 3.0, 42.0, 42.5, 50.0, 99.0]);
+    }
+
+    #[test]
+    fn equal_times_order_by_priority_then_machine() {
+        let mut q = CalendarQueue::new(16, 10.0);
+        q.push(Event {
+            time: 5.0,
+            kind: EventKind::Place { seg: 1 },
+            machine: 0,
+        });
+        q.push(Event {
+            time: 5.0,
+            kind: EventKind::WorkEnd { epoch: 7 },
+            machine: 2,
+        });
+        q.push(Event {
+            time: 5.0,
+            kind: EventKind::SegEnd { seg: 0 },
+            machine: 9,
+        });
+        q.push(Event {
+            time: 5.0,
+            kind: EventKind::WorkEnd { epoch: 3 },
+            machine: 1,
+        });
+        let kinds: Vec<(EventKind, u32)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.kind, e.machine))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (EventKind::SegEnd { seg: 0 }, 9),
+                (EventKind::WorkEnd { epoch: 3 }, 1),
+                (EventKind::WorkEnd { epoch: 7 }, 2),
+                (EventKind::Place { seg: 1 }, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn push_behind_an_advanced_cursor_rewinds() {
+        // A peek walks the cursor to the far event; a later push at an
+        // earlier time (the engine does this when a fabric completion
+        // beats the calendar head) must still pop first.
+        let mut q = CalendarQueue::new(64, 1000.0);
+        q.push(ev(900.0, 1));
+        assert_eq!(q.peek().unwrap().time, 900.0);
+        q.push(ev(100.0, 2));
+        assert_eq!(q.pop().unwrap().time, 100.0);
+        assert_eq!(q.pop().unwrap().time, 900.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn insertion_order_never_matters() {
+        let events: Vec<Event> = (0..200)
+            .map(|i| Event {
+                // Deliberately collide many events into few buckets and
+                // a few exact time ties.
+                time: ((i * 7) % 31) as f64 * 0.5,
+                kind: if i % 3 == 0 {
+                    EventKind::SegEnd { seg: i }
+                } else {
+                    EventKind::WorkEnd { epoch: i }
+                },
+                machine: i % 50,
+            })
+            .collect();
+        let drain = |order: Vec<Event>| -> Vec<Event> {
+            let mut q = CalendarQueue::new(8, 16.0);
+            for e in order {
+                q.push(e);
+            }
+            std::iter::from_fn(|| q.pop()).collect()
+        };
+        let forward = drain(events.clone());
+        let mut shuffled = events.clone();
+        // Deterministic shuffle: reverse + interleave halves.
+        shuffled.reverse();
+        let (a, b) = shuffled.split_at(shuffled.len() / 2);
+        let interleaved: Vec<Event> = a
+            .iter()
+            .zip(b.iter())
+            .flat_map(|(x, y)| [*x, *y])
+            .chain(b.iter().skip(a.len()).copied())
+            .collect();
+        assert_eq!(forward, drain(interleaved));
+        assert_eq!(forward.len(), events.len());
+    }
+
+    #[test]
+    fn sparse_queues_jump_laps() {
+        let mut q = CalendarQueue::new(64, 10.0);
+        q.push(ev(0.25, 1));
+        // Far beyond one ring revolution of the 64-bucket, ~0.15 s-wide
+        // calendar.
+        q.push(ev(5_000.0, 2));
+        assert_eq!(q.pop().unwrap().machine, 1);
+        assert_eq!(q.pop().unwrap().machine, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new(16, 10.0);
+        q.push(ev(3.0, 7));
+        q.push(ev(1.0, 4));
+        assert_eq!(q.peek().unwrap().machine, 4);
+        assert_eq!(q.pop().unwrap().machine, 4);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Time-weighted histograms for pool-level link and concurrency
+//! statistics.
+//!
+//! The engine samples piecewise-constant signals (link utilization,
+//! concurrent transfers) between events; recording `(value, dt)` pairs
+//! into a fixed-bin histogram gives exact time-weighted means and
+//! percentile estimates with O(1) memory, which is what survives a
+//! 10⁶-machine run.
+
+/// A fixed-bin, time-weighted histogram over `[lo, hi]`.
+#[derive(Debug, Clone)]
+pub struct TimeHistogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<f64>,
+    weight: f64,
+    weighted_sum: f64,
+    max: f64,
+}
+
+impl TimeHistogram {
+    /// A histogram with `bins` cells spanning `[lo, hi]` (values clamp).
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        TimeHistogram {
+            lo,
+            hi,
+            bins: vec![0.0; bins.max(1)],
+            weight: 0.0,
+            weighted_sum: 0.0,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record `value` held for `dt` seconds.
+    pub fn record(&mut self, value: f64, dt: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        let clamped = value.clamp(self.lo, self.hi);
+        let span = self.hi - self.lo;
+        let idx = if span > 0.0 {
+            (((clamped - self.lo) / span) * self.bins.len() as f64) as usize
+        } else {
+            0
+        }
+        .min(self.bins.len() - 1);
+        self.bins[idx] += dt;
+        self.weight += dt;
+        self.weighted_sum += value * dt;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Total recorded weight (seconds).
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Time-weighted mean of the recorded signal (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.weight > 0.0 {
+            self.weighted_sum / self.weight
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.weight > 0.0 {
+            self.max
+        } else {
+            0.0
+        }
+    }
+
+    /// Time-weighted `q`-quantile (`0 ≤ q ≤ 1`), reported at the upper
+    /// edge of the containing bin (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.weight <= 0.0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.weight;
+        let mut seen = 0.0;
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, w) in self.bins.iter().enumerate() {
+            seen += w;
+            if seen >= target {
+                return self.lo + width * (i + 1) as f64;
+            }
+        }
+        self.hi
+    }
+
+    /// Condense into a serializable summary.
+    pub fn summary(&self) -> DistSummary {
+        DistSummary {
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// Serializable summary of a time-weighted distribution.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct DistSummary {
+    /// Time-weighted mean.
+    pub mean: f64,
+    /// Median (upper bin edge).
+    pub p50: f64,
+    /// 95th percentile (upper bin edge).
+    pub p95: f64,
+    /// 99th percentile (upper bin edge).
+    pub p99: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = TimeHistogram::new(0.0, 1.0, 10);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn mean_is_time_weighted() {
+        let mut h = TimeHistogram::new(0.0, 10.0, 100);
+        h.record(2.0, 30.0);
+        h.record(8.0, 10.0);
+        assert!((h.mean() - 3.5).abs() < 1e-12);
+        assert_eq!(h.max(), 8.0);
+    }
+
+    #[test]
+    fn quantiles_follow_the_weight() {
+        let mut h = TimeHistogram::new(0.0, 10.0, 1000);
+        h.record(1.0, 90.0);
+        h.record(9.0, 10.0);
+        assert!(h.quantile(0.5) < 1.5);
+        assert!(h.quantile(0.95) > 8.5);
+        assert!(h.quantile(1.0) >= 9.0);
+    }
+
+    #[test]
+    fn values_clamp_to_range() {
+        let mut h = TimeHistogram::new(0.0, 1.0, 10);
+        h.record(5.0, 1.0);
+        h.record(-3.0, 1.0);
+        assert_eq!(h.weight(), 2.0);
+        assert!(h.quantile(0.99) <= 1.0);
+    }
+
+    #[test]
+    fn zero_or_negative_dt_is_ignored() {
+        let mut h = TimeHistogram::new(0.0, 1.0, 4);
+        h.record(0.5, 0.0);
+        h.record(0.5, -1.0);
+        h.record(0.5, f64::NAN);
+        assert_eq!(h.weight(), 0.0);
+    }
+}

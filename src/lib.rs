@@ -20,6 +20,10 @@
 //! * [`sim`] — the trace-driven discrete-event simulator.
 //! * [`condor`] — a virtual-time Condor emulation (machines, negotiator,
 //!   Vanilla-universe jobs, checkpoint manager).
+//! * [`pool`] — the pool-scale discrete-event simulator: 10⁵–10⁶
+//!   machines contending on a hierarchical machine → rack → core
+//!   network, with calendar-queue events and incremental max-min fair
+//!   sharing.
 //! * [`stats`] — confidence intervals, paired t-tests, significance
 //!   tables.
 //! * [`core`] — the high-level [`core::CheckpointScheduler`] facade.
@@ -53,6 +57,7 @@ pub use chs_dist as dist;
 pub use chs_markov as markov;
 pub use chs_net as net;
 pub use chs_numerics as numerics;
+pub use chs_pool as pool;
 pub use chs_sim as sim;
 pub use chs_stats as stats;
 pub use chs_trace as trace;
