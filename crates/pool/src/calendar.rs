@@ -91,7 +91,7 @@ pub struct CalendarQueue {
     buckets: Vec<Vec<Event>>,
     /// Seconds of virtual time per bucket.
     width: f64,
-    /// `buckets.len()`, a power of two.
+    /// `buckets.len() - 1`; bucket count is a power of two.
     mask: usize,
     /// Lap-qualified cursor: the bucket index is `cursor & mask`, the
     /// lap is `cursor / buckets.len()`; an event in the cursor bucket is

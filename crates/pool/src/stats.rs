@@ -33,7 +33,7 @@ impl TimeHistogram {
 
     /// Record `value` held for `dt` seconds.
     pub fn record(&mut self, value: f64, dt: f64) {
-        if dt <= 0.0 {
+        if !dt.is_finite() || dt <= 0.0 || value.is_nan() {
             return;
         }
         let clamped = value.clamp(self.lo, self.hi);
@@ -46,9 +46,9 @@ impl TimeHistogram {
         .min(self.bins.len() - 1);
         self.bins[idx] += dt;
         self.weight += dt;
-        self.weighted_sum += value * dt;
-        if value > self.max {
-            self.max = value;
+        self.weighted_sum += clamped * dt;
+        if clamped > self.max {
+            self.max = clamped;
         }
     }
 
@@ -158,6 +158,20 @@ mod tests {
         h.record(-3.0, 1.0);
         assert_eq!(h.weight(), 2.0);
         assert!(h.quantile(0.99) <= 1.0);
+        assert!(h.mean() >= 0.0 && h.mean() <= 1.0);
+        assert_eq!(h.max(), 1.0);
+    }
+
+    #[test]
+    fn non_finite_values_do_not_poison_summary() {
+        let mut h = TimeHistogram::new(0.0, 1.0, 10);
+        h.record(f64::NAN, 1.0);
+        assert_eq!(h.weight(), 0.0);
+        h.record(f64::INFINITY, 1.0);
+        h.record(0.5, f64::INFINITY);
+        assert_eq!(h.weight(), 1.0);
+        assert_eq!(h.mean(), 1.0);
+        assert_eq!(h.max(), 1.0);
     }
 
     #[test]
