@@ -130,6 +130,26 @@ pub trait CycleObserver {
         let _ = (at, lost_work, wasted_mb);
     }
 
+    /// The manager's admission control deferred a checkpoint before any
+    /// byte moved: forecast link utilization `forecast` exceeded the
+    /// watermark, the job falls back to its last verified image, and
+    /// `lost_work` seconds are re-accounted as lost.
+    fn on_checkpoint_deferred(&mut self, at: f64, forecast: f64, lost_work: f64) {
+        let _ = (at, forecast, lost_work);
+    }
+
+    /// A transfer exhausted its retry budget and was enqueued on the
+    /// manager's dead-letter queue with `remaining_mb` still to move.
+    fn on_dead_letter_enqueued(&mut self, at: f64, attempts: u32, remaining_mb: f64) {
+        let _ = (at, attempts, remaining_mb);
+    }
+
+    /// A replay pass drained one dead letter, delivering `replayed_mb`
+    /// (or abandoning it, in which case `replayed_mb` is 0).
+    fn on_dead_letter_replayed(&mut self, at: f64, replayed_mb: f64) {
+        let _ = (at, replayed_mb);
+    }
+
     /// The machine was reclaimed (or the observation window closed); the
     /// placement is over.
     fn on_evicted(&mut self, at: f64) {

@@ -1,0 +1,146 @@
+//! Differential suite: the manager server against the classic
+//! `run_contention` engine it generalizes.
+//!
+//! * One client, zero faults, uniform weights: the weighted fair link
+//!   degenerates to the flat divisor and the run must be **bitwise**
+//!   identical to the classic engine, field for field.
+//! * Many clients, zero faults: same physics up to floating-point
+//!   associativity in the virtual-volume clock — tight relative
+//!   tolerance.
+//! * The bootstrap thread count must never change anything (the digest
+//!   gate).
+
+use chs_condor::{run_contention, ContentionConfig};
+use chs_dist::ModelKind;
+use chs_manager::{run_manager, ManagerConfig};
+use chs_net::FaultPlan;
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+#[test]
+fn single_client_zero_fault_is_bitwise_classic() {
+    for (model, seed) in [
+        (ModelKind::Exponential, 2_005),
+        (ModelKind::Weibull, 77),
+        (ModelKind::Exponential, 4_242),
+    ] {
+        let mut cc = ContentionConfig::campus(1, model);
+        cc.seed = seed;
+        let classic = run_contention(&cc).unwrap();
+        let outcome =
+            run_manager(&ManagerConfig::from_contention(&cc), &FaultPlan::none()).unwrap();
+        let m = &outcome.result;
+
+        assert_eq!(m.useful_seconds, classic.useful_seconds, "seed {seed}");
+        assert_eq!(m.occupied_seconds, classic.occupied_seconds);
+        assert_eq!(m.megabytes, classic.megabytes);
+        assert_eq!(m.checkpoints_committed, classic.checkpoints_committed);
+        assert_eq!(m.transfers_started, classic.transfers_started);
+        assert_eq!(m.mean_transfer_seconds, classic.mean_transfer_seconds);
+        assert_eq!(m.mean_link_concurrency, classic.mean_link_concurrency);
+        assert_eq!(m.link_utilization, classic.link_utilization);
+        assert_eq!(m.cycle, classic.cycle);
+    }
+}
+
+#[test]
+fn multi_client_zero_fault_tracks_classic_tightly() {
+    let mut cc = ContentionConfig::campus(6, ModelKind::Exponential);
+    cc.window = 86_400.0;
+    let classic = run_contention(&cc).unwrap();
+    let outcome = run_manager(&ManagerConfig::from_contention(&cc), &FaultPlan::none()).unwrap();
+    let m = &outcome.result;
+
+    // Counters are exact: the virtual-volume clock can shift event
+    // timestamps by ulps but never reorders events.
+    assert_eq!(m.checkpoints_committed, classic.checkpoints_committed);
+    assert_eq!(m.transfers_started, classic.transfers_started);
+    assert_eq!(m.cycle.recoveries, classic.cycle.recoveries);
+    assert_eq!(m.cycle.failures, classic.cycle.failures);
+    assert!(rel_close(m.useful_seconds, classic.useful_seconds, 1e-9));
+    assert!(rel_close(
+        m.occupied_seconds,
+        classic.occupied_seconds,
+        1e-9
+    ));
+    assert!(rel_close(m.megabytes, classic.megabytes, 1e-9));
+    assert!(rel_close(
+        m.link_utilization,
+        classic.link_utilization,
+        1e-9
+    ));
+    assert!(rel_close(
+        m.mean_link_concurrency,
+        classic.mean_link_concurrency,
+        1e-9
+    ));
+}
+
+#[test]
+fn zero_fault_run_has_empty_report_and_dlq() {
+    let config = ManagerConfig::campus(4, ModelKind::Exponential);
+    let outcome = run_manager(&config, &FaultPlan::none()).unwrap();
+    assert_eq!(outcome.report.faults.total_faults(), 0);
+    assert_eq!(outcome.report.faults.retries, 0);
+    assert_eq!(outcome.report.faults.checkpoints_abandoned, 0);
+    assert_eq!(outcome.report.deferred_checkpoints, 0);
+    assert!(outcome.dlq.is_empty());
+    assert_eq!(outcome.dlq.enqueued, 0);
+    assert_eq!(outcome.result.cycle.faults_injected, 0);
+}
+
+#[test]
+fn bootstrap_thread_count_never_changes_the_run() {
+    let plan = FaultPlan {
+        seed: 1_234,
+        p_stall: 0.08,
+        p_drop: 0.08,
+        p_corrupt: 0.05,
+        p_unavailable: 0.05,
+        p_fit_failure: 0.3,
+        ..FaultPlan::none()
+    };
+    let mut config = ManagerConfig::campus(9, ModelKind::Exponential);
+    config.window = 2.0 * 86_400.0;
+    config.prefetch_probability = 0.4;
+
+    config.threads = 1;
+    let one = run_manager(&config, &plan).unwrap();
+    config.threads = 4;
+    let four = run_manager(&config, &plan).unwrap();
+    config.threads = 0; // one per core
+    let auto = run_manager(&config, &plan).unwrap();
+
+    assert_eq!(one.result.digest, four.result.digest);
+    assert_eq!(one.result.digest, auto.result.digest);
+    assert_eq!(one, four);
+    assert_eq!(one, auto);
+}
+
+#[test]
+fn recovery_lane_outranks_checkpoint_lane() {
+    // Saturate the link and check the weighted shares show up in the
+    // lane busy-time split: with recovery 4× checkpoint weight, the
+    // recovery lane must never be starved below its uniform share.
+    let mut config = ManagerConfig::campus(12, ModelKind::Exponential);
+    config.window = 2.0 * 86_400.0;
+    config.link_mb_per_s /= 4.0; // force sustained contention
+    let weighted = run_manager(&config, &FaultPlan::none()).unwrap();
+    assert!(weighted.result.recovery_busy_seconds > 0.0);
+    assert!(weighted.result.checkpoint_busy_seconds > 0.0);
+
+    // Same physics under uniform weights: recovery completions (the
+    // prioritized lane's throughput) must not get *worse* when its
+    // weight quadruples.
+    let mut uniform = config.clone();
+    uniform.weights = chs_net::LaneWeights::uniform();
+    let flat = run_manager(&uniform, &FaultPlan::none()).unwrap();
+    assert!(
+        weighted.result.cycle.recoveries_completed >= flat.result.cycle.recoveries_completed,
+        "weighted {} < uniform {}",
+        weighted.result.cycle.recoveries_completed,
+        flat.result.cycle.recoveries_completed
+    );
+}

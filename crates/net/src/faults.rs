@@ -24,6 +24,39 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::io::BufRead;
+
+/// Parse one JSONL record per line, validate each, and point errors at
+/// their line — the `ProcessLog::read_jsonl` convention shared by every
+/// durable format in the repo.
+fn read_validated_jsonl<R, T>(
+    r: R,
+    validate: impl Fn(&T) -> Result<(), String>,
+) -> std::io::Result<Vec<T>>
+where
+    R: BufRead,
+    T: Deserialize,
+{
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line.map_err(|err| {
+            std::io::Error::new(err.kind(), format!("line {}: {err}", lineno + 1))
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let invalid = |msg: String| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {msg}", lineno + 1),
+            )
+        };
+        let record: T = serde_json::from_str(&line).map_err(|e| invalid(e.to_string()))?;
+        validate(&record).map_err(invalid)?;
+        out.push(record);
+    }
+    Ok(out)
+}
 
 /// Domain-separation salts for the independent decision families.
 const SALT_TRANSFER: u64 = 0x7472_616E_7366_6572; // "transfer"
@@ -94,6 +127,10 @@ pub struct RetryPolicy {
     /// healthy sampled transfers always run to completion, preserving
     /// bitwise identity with the classic pipeline.
     pub timeout_factor: f64,
+    /// Ceiling on the deterministic backoff, seconds. The exponential
+    /// schedule saturates here instead of growing without bound (or
+    /// overflowing to non-finite for absurd attempt counts).
+    pub max_backoff: f64,
 }
 
 impl Default for RetryPolicy {
@@ -104,6 +141,7 @@ impl Default for RetryPolicy {
             backoff_factor: 2.0,
             backoff_jitter: 0.25,
             timeout_factor: 3.0,
+            max_backoff: 3_600.0,
         }
     }
 }
@@ -135,18 +173,40 @@ impl RetryPolicy {
                 self.timeout_factor
             ));
         }
+        if !self.max_backoff.is_finite() || self.max_backoff < 0.0 {
+            return Err(format!(
+                "max_backoff must be finite ≥ 0: {}",
+                self.max_backoff
+            ));
+        }
         Ok(())
     }
 
-    /// Deterministic part of the backoff before retry `attempt` (1-based).
+    /// Deterministic part of the backoff before retry `attempt` (1-based),
+    /// saturating at [`max_backoff`](Self::max_backoff). The exponent is
+    /// clamped *before* `powi` so huge attempt counts (up to `u32::MAX`,
+    /// which would wrap when cast to `i32`) cannot overflow to a
+    /// non-finite — or, worse, tiny — backoff.
     pub fn backoff(&self, attempt: u32) -> f64 {
-        self.backoff_base * self.backoff_factor.powi(attempt.saturating_sub(1) as i32)
+        let exp = attempt.saturating_sub(1).min(4_096) as i32;
+        let raw = self.backoff_base * self.backoff_factor.powi(exp);
+        if raw.is_finite() {
+            raw.min(self.max_backoff)
+        } else {
+            self.max_backoff
+        }
     }
 
     /// Backoff with jitter applied; `u` must be a uniform draw in [0, 1)
     /// from the run's RNG stream.
     pub fn backoff_jittered(&self, attempt: u32, u: f64) -> f64 {
         self.backoff(attempt) * (1.0 + self.backoff_jitter * (2.0 * u - 1.0))
+    }
+
+    /// Read a JSONL stream of policies, validating each; errors point at
+    /// the offending line.
+    pub fn read_jsonl<R: BufRead>(r: R) -> std::io::Result<Vec<Self>> {
+        read_validated_jsonl(r, Self::validate)
     }
 }
 
@@ -306,6 +366,12 @@ impl FaultPlan {
         let mut rng = ChaCha8Rng::seed_from_u64(decision_seed(self.seed, machine, model, SALT_FIT));
         rng.gen::<f64>() < self.p_fit_failure
     }
+
+    /// Read a JSONL stream of plans, validating each; errors point at
+    /// the offending line.
+    pub fn read_jsonl<R: BufRead>(r: R) -> std::io::Result<Vec<Self>> {
+        read_validated_jsonl(r, Self::validate)
+    }
 }
 
 #[cfg(test)]
@@ -429,6 +495,84 @@ mod tests {
         let mut nz = p;
         nz.backoff_jitter = 0.0;
         assert_eq!(nz.backoff_jittered(3, 0.77), 20.0);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let p = RetryPolicy::default();
+        // The cast `(u32::MAX − 1) as i32` used to wrap negative and
+        // produce a near-zero backoff; the clamp must saturate instead.
+        for attempt in [64, 1_000, 4_097, u32::MAX - 1, u32::MAX] {
+            let b = p.backoff(attempt);
+            assert!(b.is_finite(), "attempt {attempt}: backoff {b}");
+            assert_eq!(b, p.max_backoff, "attempt {attempt}");
+            let j = p.backoff_jittered(attempt, 0.999);
+            assert!(j.is_finite() && j > 0.0, "attempt {attempt}: jittered {j}");
+        }
+        // The cap also binds for merely-large finite schedules.
+        assert_eq!(p.backoff(12), 3_600.0); // 5·2^11 = 10_240 uncapped
+        assert_eq!(p.backoff(11), 3_600.0); // 5·2^10 = 5_120 uncapped
+        assert_eq!(p.backoff(10), 2_560.0); // below the cap: exact
+                                            // A factor-1 schedule is flat and unaffected by the clamp.
+        let flat = RetryPolicy {
+            backoff_factor: 1.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(flat.backoff(u32::MAX), 5.0);
+    }
+
+    #[test]
+    fn retry_policy_serde_round_trip() {
+        let p = RetryPolicy {
+            max_retries: 7,
+            backoff_base: 2.5,
+            backoff_factor: 3.0,
+            backoff_jitter: 0.1,
+            timeout_factor: 4.0,
+            max_backoff: 900.0,
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: RetryPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn jsonl_loaders_round_trip_and_point_at_bad_lines() {
+        // FaultPlan: two good lines round-trip.
+        let plans = [FaultPlan::uniform(0.2, 1), FaultPlan::none()];
+        let mut buf = Vec::new();
+        for p in &plans {
+            buf.extend_from_slice(serde_json::to_string(p).unwrap().as_bytes());
+            buf.push(b'\n');
+        }
+        let back = FaultPlan::read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back, plans);
+        // An out-of-range probability on line 3 fails *validation* (not
+        // parsing) and the error names the line and the field.
+        buf.extend_from_slice(
+            br#"{"seed":0,"p_stall":2.0,"p_drop":0.0,"p_corrupt":0.0,"p_unavailable":0.0,"p_fit_failure":0.0,"stall_fraction":0.6,"drop_fraction":0.8,"unavailable_wait":30.0}
+"#,
+        );
+        let err = FaultPlan::read_jsonl(buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3") && msg.contains("p_stall"), "{msg}");
+        // Syntactically corrupt JSON also points at its line.
+        let text = "{\"seed\":0 not json\n";
+        let err = FaultPlan::read_jsonl(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+
+        // RetryPolicy: good line + out-of-range knob on line 2.
+        let good = serde_json::to_string(&RetryPolicy::default()).unwrap();
+        let bad_policy = r#"{"max_retries":3,"backoff_base":5.0,"backoff_factor":0.5,"backoff_jitter":0.25,"timeout_factor":3.0,"max_backoff":3600.0}"#;
+        let text = format!("{good}\n{bad_policy}\n");
+        let err = RetryPolicy::read_jsonl(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 2") && msg.contains("backoff_factor"),
+            "{msg}"
+        );
+        let ok = RetryPolicy::read_jsonl(format!("{good}\n\n{good}\n").as_bytes()).unwrap();
+        assert_eq!(ok.len(), 2);
     }
 
     #[test]

@@ -18,15 +18,22 @@
 //!   transfers ([`faults::FaultPlan`]) and the manager-side resilience
 //!   knobs ([`faults::RetryPolicy`]); per-decision seeding keeps a
 //!   zero-fault plan bitwise-invisible to the drivers.
+//! * [`protocol`] — the manager server's protocol vocabulary: priority
+//!   lanes ([`protocol::Lane`], [`protocol::LaneWeights`]), admission
+//!   control ([`protocol::AdmissionConfig`]), and the durable
+//!   dead-letter queue ([`protocol::DeadLetterQueue`]) consumed by
+//!   `chs-manager`.
 
 #![deny(missing_docs)]
 
 pub mod faults;
 pub mod forecast;
+pub mod protocol;
 pub mod timevary;
 pub mod transfer;
 
 pub use faults::{FaultPlan, RetryPolicy, TransferFault};
 pub use forecast::{valid_measurement, AdaptiveForecaster, Forecaster};
+pub use protocol::{AdmissionConfig, DeadLetter, DeadLetterQueue, Lane, LaneWeights};
 pub use timevary::{evaluate_forecasters, DiurnalPath, ForecasterScore};
 pub use transfer::{NetworkPath, TransferModel};

@@ -171,6 +171,70 @@ mod tests {
     }
 
     #[test]
+    fn peak_window_edges_are_half_open() {
+        // The window is [start, end): the first peak second slows down,
+        // the first post-peak second does not.
+        let p = DiurnalPath::campus_diurnal();
+        let (start, end) = p.peak_hours;
+        assert!(p.is_peak(start * HOUR));
+        assert!(!p.is_peak(start * HOUR - 1.0));
+        assert!(!p.is_peak(end * HOUR));
+        assert!(p.is_peak(end * HOUR - 1.0));
+        assert_eq!(p.slowdown_at(start * HOUR), p.peak_slowdown);
+        assert_eq!(p.slowdown_at(end * HOUR), 1.0);
+        // Same boundaries hold mid-week (Wednesday).
+        let wed = 2.0 * DAY;
+        assert!(p.is_peak(wed + start * HOUR));
+        assert!(!p.is_peak(wed + end * HOUR));
+    }
+
+    #[test]
+    fn weekday_window_and_day_wraparound() {
+        let p = DiurnalPath::wide_area_diurnal();
+        let noon = 12.0 * HOUR;
+        // Friday (day 4) is the last peak-eligible day; Saturday and
+        // Sunday are quiet even at noon.
+        assert!(p.is_peak(4.0 * DAY + noon));
+        assert!(!p.is_peak(5.0 * DAY + noon));
+        assert!(!p.is_peak(6.0 * DAY + noon));
+        // The week wraps: day 7 is Monday again, and the pattern repeats
+        // arbitrarily many weeks out.
+        assert!(p.is_peak(7.0 * DAY + noon));
+        assert!(!p.is_peak(12.0 * DAY + noon)); // Saturday of week 2
+        for week in 0..6 {
+            let base = week as f64 * 7.0 * DAY;
+            assert!(p.is_peak(base + noon), "week {week} Monday noon");
+            assert!(!p.is_peak(base + noon + 5.0 * DAY), "week {week} Saturday");
+            // Midnight boundary: the day rolls over cleanly at t % DAY.
+            assert!(!p.is_peak(base + 1.0 * DAY - 1.0));
+            assert!(!p.is_peak(base + 1.0 * DAY));
+        }
+    }
+
+    #[test]
+    fn expected_duration_monotone_in_size() {
+        // Bigger images never finish sooner, peak or off-peak.
+        for p in [
+            DiurnalPath::campus_diurnal(),
+            DiurnalPath::wide_area_diurnal(),
+        ] {
+            let model = TransferModel::new(p.base);
+            for &t in &[2.0 * HOUR, 12.0 * HOUR, 5.0 * DAY + 12.0 * HOUR] {
+                let mut prev = 0.0;
+                for step in 1..=40 {
+                    let size = step as f64 * 50.0;
+                    let d = p.expected_duration_at(t, size, &model);
+                    assert!(
+                        d >= prev,
+                        "t {t}: expected duration fell from {prev} to {d} at {size} MB"
+                    );
+                    prev = d;
+                }
+            }
+        }
+    }
+
+    #[test]
     fn peak_transfers_slower() {
         let p = DiurnalPath::wide_area_diurnal();
         let model = TransferModel::new(p.base);

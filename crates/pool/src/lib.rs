@@ -44,6 +44,7 @@
 mod calendar;
 mod engine;
 mod fabric;
+mod fairshare;
 mod policy;
 mod rescan;
 mod stats;
@@ -52,6 +53,7 @@ mod workload;
 pub use calendar::{CalendarQueue, Event, EventKind};
 pub use engine::{PoolResult, PoolSim, PoolSimConfig};
 pub use fabric::{Fabric, FabricConfig};
+pub use fairshare::WeightedFairLink;
 pub use policy::{
     build_policy_store, AdaptiveVaidyaPolicy, FixedIntervalPolicy, PoolPolicy,
     SchedulePolicyBridge, StoreBuildReport, StorePolicy,
